@@ -1,0 +1,49 @@
+"""D2 (Section 6) — RETRY attack mitigation is not deployed.
+
+Paper: no RETRY packets captured passively; actively connecting to the
+ten most-attacked Google/Facebook servers yields no RETRY either —
+the providers support the mechanism but deliberately leave it off.
+"""
+
+from repro.net.addresses import format_ipv4
+from repro.util.render import format_table
+
+
+def _d2(result):
+    audit = result.retry_audit
+    return audit
+
+
+def test_d2_retry_audit(result, scenario, emit, benchmark):
+    audit = benchmark(_d2, result)
+    assert audit is not None
+    probe_rows = [
+        [
+            format_ipv4(p.address),
+            p.provider,
+            "yes" if p.handshake_completed else "no",
+            "yes" if p.retry_received else "no",
+            p.round_trips,
+        ]
+        for p in audit.probes
+    ]
+    probes = format_table(
+        ["victim", "provider", "handshake", "retry seen", "RTs"],
+        probe_rows,
+        title="Active probes of the most-attacked servers",
+    )
+    summary = format_table(
+        ["metric", "paper", "measured"],
+        [
+            ["RETRY packets in backscatter", "0", str(audit.passive_retry_packets)],
+            ["QUIC backscatter packets checked", "(all)", f"{audit.passive_quic_packets:,}"],
+            ["active probes returning RETRY", "0 / 10", f"{sum(1 for p in audit.probes if p.retry_received)} / {len(audit.probes)}"],
+            ["providers support RETRY", "yes (unused)", str(all(r.supports_retry for r in scenario.internet.census.all_records()))],
+        ],
+        title="Section 6 — RETRY deployment audit",
+    )
+    emit("d2_retry", summary + "\n\n" + probes)
+    assert not audit.retry_deployed
+    assert audit.passive_retry_packets == 0
+    assert len(audit.probes) >= 5
+    assert all(p.handshake_completed for p in audit.probes)

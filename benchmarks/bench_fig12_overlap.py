@@ -1,0 +1,38 @@
+"""FIG12 (Appendix C) — attack overlap of multi-vector attacks.
+
+Paper: three quarters of concurrent QUIC attacks run completely in
+parallel with a TCP/ICMP attack (overlap share 1.0 in the CDF); on
+average concurrent QUIC attacks share 95% of their attack time with
+common attacks.
+"""
+
+from repro.util.render import cdf_points, format_table
+from repro.util.stats import EmpiricalCdf
+
+
+def _fig12(result):
+    shares = result.multivector.overlap_shares
+    if not shares:
+        return None, 0.0, 0.0
+    cdf = EmpiricalCdf(shares)
+    full = sum(1 for s in shares if s >= 0.999) / len(shares)
+    mean = sum(shares) / len(shares)
+    return cdf, full, mean
+
+
+def test_fig12_overlap_shares(result, emit, benchmark):
+    cdf, full, mean = benchmark(_fig12, result)
+    assert cdf is not None, "no concurrent attacks detected"
+    table = format_table(
+        ["metric", "paper", "measured"],
+        [
+            ["fully parallel concurrent attacks", "75%", f"{full * 100:.0f}%"],
+            ["mean overlap share", "95%", f"{mean * 100:.0f}%"],
+            ["concurrent attacks", "(n)", str(len(cdf))],
+        ],
+        title="Figure 12 — overlap share of concurrent QUIC attacks",
+    )
+    chart = "overlap-share CDF:\n" + cdf_points(cdf.steps())
+    emit("fig12_overlap", table + "\n\n" + chart)
+    assert full > 0.5
+    assert mean > 0.75

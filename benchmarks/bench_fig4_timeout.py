@@ -1,0 +1,38 @@
+"""FIG4 — influence of the session timeout on the number of sessions.
+
+Paper: sweeping the inactivity timeout from 1 to 60 minutes shows a
+significant reduction until ~5 minutes (the knee, chosen as the
+threshold); the lower bound is the timeout=infinity grouping (one
+session per source).
+"""
+
+from repro.util.render import format_table, sparkline
+
+
+def _fig4(result):
+    sweep = result.timeout_sweep
+    series = sweep.sweep(range(1, 61))
+    return series, sweep.knee_minutes(), sweep.source_count
+
+
+def test_fig4_timeout_sweep(result, emit, benchmark):
+    series, knee, floor = benchmark(_fig4, result)
+    counts = [count for _m, count in series]
+    table = format_table(
+        ["metric", "paper", "measured"],
+        [
+            ["chosen knee", "~5 minutes", f"{knee:.0f} minutes"],
+            ["sessions @ 1 min", "(high)", f"{counts[0]:,}"],
+            ["sessions @ 5 min", "(knee)", f"{counts[4]:,}"],
+            ["sessions @ 60 min", "(flat)", f"{counts[-1]:,}"],
+            ["floor (timeout = inf)", "(one per source)", f"{floor:,}"],
+        ],
+        title="Figure 4 — session count vs timeout",
+    )
+    chart = "sessions(1..60 min): " + sparkline(counts)
+    emit("fig4_timeout", table + "\n\n" + chart)
+    assert counts[0] > counts[4] >= counts[-1] >= floor
+    drop_to_knee = counts[0] - counts[4]
+    drop_after = counts[4] - counts[-1]
+    assert drop_to_knee > drop_after  # the knee sits at/before 5 minutes
+    assert 2 <= knee <= 10

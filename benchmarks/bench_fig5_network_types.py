@@ -1,0 +1,41 @@
+"""FIG5 — source network types of sessions (PeeringDB info_type).
+
+Paper: request sessions originate predominantly from eyeball
+(Cable/DSL/ISP) networks; response sessions are received almost
+exclusively from content networks — bots scan, content providers emit
+flood backscatter.
+"""
+
+from repro.internet.asn import NetworkType
+from repro.util.render import format_table
+
+
+def _fig5(result):
+    def shares(counts):
+        total = sum(counts.values())
+        if not total:
+            return {}
+        return {t: counts.get(t, 0) / total for t in NetworkType}
+
+    return shares(result.request_network_types), shares(result.response_network_types)
+
+
+def test_fig5_network_types(result, emit, benchmark):
+    request_shares, response_shares = benchmark(_fig5, result)
+    rows = []
+    for network_type in NetworkType:
+        rows.append(
+            [
+                network_type.value,
+                f"{request_shares.get(network_type, 0) * 100:.1f}%",
+                f"{response_shares.get(network_type, 0) * 100:.1f}%",
+            ]
+        )
+    table = format_table(
+        ["network type", "requests", "responses"],
+        rows,
+        title="Figure 5 — session source network types (paper: requests ~ eyeball, responses ~ content)",
+    )
+    emit("fig5_network_types", table)
+    assert request_shares.get(NetworkType.EYEBALL, 0) > 0.85
+    assert response_shares.get(NetworkType.CONTENT, 0) > 0.6

@@ -1,0 +1,35 @@
+"""Pipeline throughput: packets/second through classify+dissect+sessionize.
+
+Not a paper figure — an engineering benchmark guarding the streaming
+pipeline's performance (the paper processed 92M packets; regression
+here makes full-scale runs impractical).
+"""
+
+from repro.core import QuicsandPipeline
+from repro.telescope import Scenario, ScenarioConfig
+from repro.util.timeutil import HOUR
+
+
+def test_pipeline_throughput(emit, benchmark):
+    config = ScenarioConfig(duration=1 * HOUR, research_sample=1.0 / 512)
+    scenario = Scenario(config)
+    packets = list(scenario.packets())
+
+    def run():
+        pipeline = QuicsandPipeline(
+            registry=scenario.internet.registry,
+            census=scenario.internet.census,
+            greynoise=scenario.internet.greynoise,
+        )
+        return pipeline.process(iter(packets))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    rate = len(packets) / benchmark.stats["mean"]
+    emit(
+        "pipeline_throughput",
+        f"packets analyzed: {len(packets):,}\n"
+        f"throughput: {rate:,.0f} packets/s\n"
+        f"(paper scale: 92M packets => {92e6 / rate / 3600:.1f} h at this rate)",
+    )
+    assert result.total_packets == len(packets)
+    assert rate > 5_000

@@ -1,0 +1,75 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+One paper-scale scenario is generated and analyzed once per benchmark
+session; each bench then times its figure-specific computation and
+prints a paper-vs-measured comparison.  Rendered figures are also
+written to ``benchmarks/out/`` so they survive pytest's capture.
+
+Environment knobs:
+
+- ``REPRO_BENCH_HOURS``  — measurement window length (default 24).
+- ``REPRO_BENCH_SEED``   — scenario seed (default 20210401).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import QuicsandPipeline
+from repro.telescope import Scenario, ScenarioConfig
+from repro.util.timeutil import HOUR
+
+OUT_DIR = Path(__file__).parent / "out"
+
+BENCH_HOURS = float(os.environ.get("REPRO_BENCH_HOURS", "24"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20210401"))
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    config = ScenarioConfig(
+        seed=BENCH_SEED,
+        duration=BENCH_HOURS * HOUR,
+        research_sample=1.0 / 64.0,
+    )
+    return Scenario(config)
+
+
+@pytest.fixture(scope="session")
+def result(scenario):
+    pipeline = QuicsandPipeline(
+        registry=scenario.internet.registry,
+        census=scenario.internet.census,
+        greynoise=scenario.internet.greynoise,
+    )
+    return pipeline.process(scenario.packets())
+
+
+_EMISSIONS: list = []
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Record a rendered figure: persisted under benchmarks/out/ and
+    printed in the terminal summary (pytest's fd capture would swallow
+    a plain print)."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        _EMISSIONS.append((name, text))
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _EMISSIONS:
+        return
+    terminalreporter.section("paper figures and tables (also in benchmarks/out/)")
+    for name, text in _EMISSIONS:
+        terminalreporter.write_line(f"\n=== {name} ===")
+        terminalreporter.write_line(text)

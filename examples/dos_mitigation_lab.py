@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""DoS mitigation lab: sweep flood rates against NGINX configurations.
+
+Reproduces the Table 1 methodology and extends it into a full rate
+sweep: for each attack rate, measure service availability with
+
+  (a) 4 workers, no RETRY        (the paper's collapse case),
+  (b) auto=128 workers, no RETRY (scale-out helps, then saturates),
+  (c) 4 workers with RETRY       (stateless defense, +1 RTT).
+
+Prints the availability crossover points — where each configuration
+stops serving legitimate users.
+
+Usage:  python examples/dos_mitigation_lab.py
+"""
+
+from repro.server import NginxConfig, NginxQuicServer, run_attack
+from repro.util.render import format_table
+
+RATES = [10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000]
+TEST_SECONDS = 120.0
+
+
+def availability(config: NginxConfig, rate: float) -> float:
+    server = NginxQuicServer(config)
+    requests = int(rate * TEST_SECONDS)
+    row = run_attack(server, rate_pps=rate, total_requests=requests)
+    return row.legit_availability
+
+
+def main() -> None:
+    configs = {
+        "4 workers": NginxConfig(workers=4),
+        "auto=128": NginxConfig.auto(),
+        "4 workers + RETRY": NginxConfig(workers=4, retry_enabled=True),
+    }
+    rows = []
+    crossover = {name: None for name in configs}
+    for rate in RATES:
+        row = [f"{rate:,}"]
+        for name, config in configs.items():
+            avail = availability(config, rate)
+            row.append(f"{avail * 100:.0f}%")
+            if avail < 0.5 and crossover[name] is None:
+                crossover[name] = rate
+        rows.append(row)
+
+    print(
+        format_table(
+            ["attack pps"] + list(configs),
+            rows,
+            title=f"Legitimate-client availability under Initial floods ({TEST_SECONDS:.0f}s tests)",
+        )
+    )
+    print()
+    for name, rate in crossover.items():
+        if rate is None:
+            print(f"{name}: never drops below 50% in this sweep")
+        else:
+            print(f"{name}: drops below 50% availability at {rate:,} pps")
+    print()
+    print("paper context: a 1 max-pps telescope flood extrapolates to ~512 pps")
+    print("Internet-wide; the paper extrapolates its largest event (27 pps at")
+    print("the /9) to ~13,824 pps — enough to take down the 4-worker setup")
+    print("and stress auto=128, while RETRY holds at every rate (+1 RTT).")
+
+
+if __name__ == "__main__":
+    main()

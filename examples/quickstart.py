@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: generate six hours of telescope traffic and analyze it.
+
+Runs the full QUICsand loop end to end:
+
+1. build a synthetic Internet (content providers, eyeball bots,
+   research scanners) and a /9 network telescope;
+2. generate the telescope's capture for a six-hour window — research
+   sweeps, bot scans, spoofed-flood backscatter, misconfiguration noise;
+3. run the analysis pipeline (classify -> sessionize -> detect floods
+   -> correlate multi-vector attacks -> audit RETRY);
+4. print the headline numbers next to the paper's.
+
+Usage:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro.core import QuicsandPipeline
+from repro.telescope import Scenario, ScenarioConfig
+from repro.util.render import format_table
+from repro.util.timeutil import HOUR
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 20210401
+    config = ScenarioConfig(seed=seed, duration=6 * HOUR, research_sample=1 / 256)
+    scenario = Scenario(config)
+    print(f"telescope: {scenario.telescope.prefix} "
+          f"(1/{int(scenario.telescope.extrapolation_factor)} of IPv4)")
+    print(f"planned QUIC floods: {len(scenario.plan.quic_floods)}, "
+          f"TCP/ICMP floods: {len(scenario.plan.common_floods)}")
+
+    pipeline = QuicsandPipeline(
+        registry=scenario.internet.registry,
+        census=scenario.internet.census,
+        greynoise=scenario.internet.greynoise,
+    )
+    print("analyzing the capture (single streaming pass)...")
+    result = pipeline.process(scenario.packets())
+
+    victims = result.victim_analysis
+    shares = result.multivector.category_shares()
+    print()
+    print(
+        format_table(
+            ["metric", "paper (April 2021)", "this run (6 h synthetic)"],
+            [
+                ["packets captured", "92M", f"{result.total_packets:,}"],
+                ["research scanner share", "98.5%", f"{result.research_share * 100:.1f}% (sampled)"],
+                ["request share (sanitized)", "15%", f"{result.request_share * 100:.0f}%"],
+                ["QUIC floods detected", "2905 (~4/hour)", f"{len(result.quic_attacks)} (~{len(result.quic_attacks) / 6:.1f}/hour)"],
+                ["share of response sessions", "11%", f"{result.quic_detector.detection_rate * 100:.0f}%"],
+                ["victims are known QUIC servers", "98%", f"{victims.known_server_share * 100:.0f}%"],
+                ["attacks on Google / Facebook", "58% / 25%",
+                 f"{victims.provider_share('Google') * 100:.0f}% / {victims.provider_share('Facebook') * 100:.0f}%"],
+                ["concurrent / sequential / isolated", "51% / 40% / 9%",
+                 f"{shares['concurrent'] * 100:.0f}% / {shares['sequential'] * 100:.0f}% / {shares['isolated'] * 100:.0f}%"],
+                ["RETRY observed", "never", "never" if not result.retry_audit.retry_deployed else "yes (!)"],
+            ],
+            title="QUICsand quickstart — paper vs this run",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Scanner forensics: who is probing UDP/443, and how?
+
+The reconnaissance half of the paper (Section 5.1): identify the
+research scanners dominating QUIC IBR, profile their sweep behaviour,
+and contextualize the remaining scan sources with honeypot intel.
+
+The script runs two passes over the same deterministic capture — the
+first to find the heavy hitters, the second to profile them — which is
+exactly how one would work with an on-disk pcap.
+
+Usage:  python examples/scanner_forensics.py
+"""
+
+from collections import Counter
+
+from repro.core.classify import PacketClass, TrafficClassifier
+from repro.core.extrapolate import TelescopeExtrapolator
+from repro.core.scanprofile import ScanProfiler
+from repro.net.addresses import format_ipv4
+from repro.telescope import Scenario, ScenarioConfig
+from repro.util.render import format_table
+from repro.util.timeutil import DAY
+
+
+def main() -> None:
+    config = ScenarioConfig(seed=404, duration=1 * DAY, research_sample=1 / 256)
+    scenario = Scenario(config)
+    extrapolator = TelescopeExtrapolator(scenario.telescope.prefix)
+
+    # pass 1: count QUIC request packets per source
+    print("pass 1: finding UDP/443 scan sources ...")
+    classifier = TrafficClassifier()
+    per_source = Counter()
+    for packet in scenario.packets():
+        if classifier.classify(packet).packet_class is PacketClass.QUIC_REQUEST:
+            per_source[packet.src] += 1
+    heavy_hitters = [src for src, count in per_source.most_common(10)]
+
+    # pass 2: profile the heavy hitters
+    print("pass 2: profiling the top sources ...\n")
+    profiler = ScanProfiler(heavy_hitters, scenario.telescope.prefix, sweep_gap=7200.0)
+    for packet in scenario.packets():
+        profiler.observe(packet)
+
+    weight = scenario.truth.research_weight
+    rows = []
+    for source in heavy_hitters:
+        profile = profiler.profile(source)
+        if profile is None or not profile.packet_count:
+            continue
+        verdict = profiler.classify(source, min_coverage_per_sweep=0.4 / weight)
+        system = scenario.internet.registry.lookup(source)
+        greynoise = scenario.internet.greynoise.query(source)
+        interval = profile.sweep_interval()
+        rows.append(
+            [
+                format_ipv4(source),
+                system.name if system else "unrouted",
+                profile.packet_count,
+                profile.sweep_count,
+                f"{interval / 3600:.1f}h" if interval else "-",
+                f"{profile.coverage(scenario.telescope.prefix) * weight:.1f}x" ,
+                "RESEARCH" if verdict.is_research_sweep else "other",
+                greynoise.actor if greynoise else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["source", "AS", "packets", "sweeps", "period", "coverage", "class", "GreyNoise"],
+            rows,
+            title="Top UDP/443 scan sources (coverage rescaled by sweep sampling)",
+        )
+    )
+
+    research = [r for r in rows if r[6] == "RESEARCH"]
+    research_packets = sum(r[2] for r in research) * weight
+    other_packets = sum(count for count in per_source.values()) - sum(
+        r[2] for r in research
+    )
+    print()
+    print(f"research sweeps: {len(research)} sources, "
+          f"~{int(research_packets):,} packets/day at full scale "
+          f"(paper: 98.5% of QUIC IBR from 2 universities)")
+    print(f"other scan traffic: {other_packets:,} packets/day "
+          f"from {len(per_source) - len(research)} sources")
+    sweep = extrapolator.scan_packets_per_sweep()
+    print(f"one full-IPv4 sweep delivers {sweep:,} packets to this telescope "
+          f"(2^32 / {int(extrapolator.factor)})")
+
+    research_sources = {
+        p.source for p in profiler.profiles()
+        if (v := profiler.classify(p.source, min_coverage_per_sweep=0.4 / weight))
+        and v.is_research_sweep
+    }
+    summary = scenario.internet.greynoise.classify_sources(
+        src for src in per_source if src not in research_sources
+    )
+    print(f"GreyNoise on non-research sources: {summary}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the workflow of the paper's toolchain:
+
+- ``simulate`` — generate a telescope capture and write it to pcap;
+- ``analyze``  — run the QUICsand pipeline over a pcap and print the
+  full report (correlation data — AS registry, census, honeypot tags —
+  is regenerated from the scenario seed, so pass the same ``--seed``
+  used for ``simulate``);
+- ``report``   — simulate + analyze in one go, no pcap on disk;
+- ``table1``   — run the NGINX DoS-resiliency benchmark (Table 1);
+- ``probe``    — actively probe census servers for RETRY (Section 6).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core import AnalysisConfig, QuicsandPipeline
+from repro.core.export import export_results
+from repro.core.report import build_report
+from repro.core.retry_audit import ActiveProber
+from repro.net.addresses import format_ipv4
+from repro.net.pcap import read_pcap
+from repro.server import run_table1, table1_rows
+from repro.telescope import Scenario, ScenarioConfig
+from repro.util.render import format_table
+from repro.util.rng import SeededRng
+from repro.util.timeutil import HOUR
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QUICsand reproduction: telescope simulation and analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="generate a telescope capture pcap")
+    _scenario_args(simulate)
+    simulate.add_argument("--out", required=True, help="output pcap path")
+
+    analyze = sub.add_parser("analyze", help="analyze a pcap capture")
+    analyze.add_argument("pcap", help="input pcap path")
+    _scenario_args(analyze)
+    analyze.add_argument(
+        "--no-correlation",
+        action="store_true",
+        help="run without AS registry / census / honeypot correlation",
+    )
+    analyze.add_argument("--report-out", help="also write the report to a file")
+    analyze.add_argument("--export", help="write per-figure CSV/JSON data here")
+
+    report = sub.add_parser("report", help="simulate and analyze in one step")
+    _scenario_args(report)
+    report.add_argument("--report-out", help="also write the report to a file")
+    report.add_argument("--export", help="write per-figure CSV/JSON data here")
+
+    sub.add_parser("table1", help="run the NGINX Table 1 benchmark")
+
+    probe = sub.add_parser("probe", help="actively probe servers for RETRY")
+    _scenario_args(probe)
+    probe.add_argument("--count", type=int, default=10, help="servers to probe")
+
+    return parser
+
+
+def _scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=20210401)
+    parser.add_argument("--hours", type=float, default=6.0)
+    parser.add_argument(
+        "--research-sample",
+        type=float,
+        default=1 / 256,
+        help="fraction of each research sweep materialized (see DESIGN.md)",
+    )
+
+
+def _scenario(args: argparse.Namespace) -> Scenario:
+    config = ScenarioConfig(
+        seed=args.seed,
+        duration=args.hours * HOUR,
+        research_sample=args.research_sample,
+    )
+    return Scenario(config)
+
+
+def _pipeline(scenario: Optional[Scenario]) -> QuicsandPipeline:
+    if scenario is None:
+        return QuicsandPipeline(config=AnalysisConfig(retry_probe_count=0))
+    return QuicsandPipeline(
+        registry=scenario.internet.registry,
+        census=scenario.internet.census,
+        greynoise=scenario.internet.greynoise,
+    )
+
+
+def _emit_report(result, scenario, out_path: Optional[str], stream) -> None:
+    weight = scenario.truth.research_weight if scenario else 1.0
+    text = build_report(result, research_weight=weight)
+    print(text, file=stream)
+    if out_path:
+        with open(out_path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\nreport written to {out_path}", file=stream)
+
+
+def cmd_simulate(args, stream) -> int:
+    scenario = _scenario(args)
+    print(f"simulating {args.hours:.1f} h at telescope {scenario.telescope.prefix} ...", file=stream)
+    count = scenario.telescope.capture_to_pcap(scenario.packets(), args.out)
+    print(
+        f"wrote {count:,} packets to {args.out} "
+        f"(planned QUIC floods: {len(scenario.plan.quic_floods)})",
+        file=stream,
+    )
+    return 0
+
+
+def cmd_analyze(args, stream) -> int:
+    scenario = None if args.no_correlation else _scenario(args)
+    pipeline = _pipeline(scenario)
+    result = pipeline.process(read_pcap(args.pcap))
+    _emit_report(result, scenario, args.report_out, stream)
+    _maybe_export(result, args, stream)
+    return 0
+
+
+def cmd_report(args, stream) -> int:
+    scenario = _scenario(args)
+    pipeline = _pipeline(scenario)
+    result = pipeline.process(scenario.packets())
+    _emit_report(result, scenario, args.report_out, stream)
+    _maybe_export(result, args, stream)
+    return 0
+
+
+def _maybe_export(result, args, stream) -> None:
+    if getattr(args, "export", None):
+        files = export_results(result, args.export)
+        print(f"\nexported {len(files)} data files to {args.export}", file=stream)
+
+
+def cmd_table1(_args, stream) -> int:
+    headers, rows = table1_rows(run_table1())
+    print(format_table(headers, rows, title="Table 1 — NGINX DoS resiliency"), file=stream)
+    return 0
+
+
+def cmd_probe(args, stream) -> int:
+    scenario = _scenario(args)
+    prober = ActiveProber(scenario.internet.census, SeededRng(args.seed, "probe"))
+    records = scenario.internet.census.all_records()[: args.count]
+    rows = []
+    for record in records:
+        outcome = prober.probe(record.address)
+        rows.append(
+            [
+                format_ipv4(record.address),
+                record.provider,
+                "yes" if outcome.handshake_completed else "no",
+                "yes" if outcome.retry_received else "no",
+                str(outcome.http_status) if outcome.http_status else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["server", "provider", "handshake", "retry", "HTTP"],
+            rows,
+            title="Active RETRY probes",
+        ),
+        file=stream,
+    )
+    return 0
+
+
+_COMMANDS = {
+    "simulate": cmd_simulate,
+    "analyze": cmd_analyze,
+    "report": cmd_report,
+    "table1": cmd_table1,
+    "probe": cmd_probe,
+}
+
+
+def main(argv: Optional[list] = None, stream=None) -> int:
+    stream = stream or sys.stdout
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, stream)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,243 @@
+"""The QUIC payload dissector.
+
+Port-based selection alone misclassifies stray UDP/443 traffic, so the
+paper validates every candidate with Wireshark's dissector.  This is
+that dissector, built from scratch on the :mod:`repro.quic` substrate:
+
+- walks coalesced long-header packets (Initial / 0-RTT / Handshake /
+  Retry / Version Negotiation) using the RFC 8999 invariants;
+- accepts short-header (1-RTT) packets only with enough bytes to hold a
+  connection ID and a header-protection sample (a telescope cannot
+  delimit short-header DCIDs, so this mirrors Wireshark's heuristic);
+- for *client* Initials, derives the version's initial keys from the
+  wire DCID and decrypts, exposing the TLS ClientHello exactly the way
+  Wireshark shows it;
+- for *server* Initials (backscatter), notes that no plaintext
+  ClientHello is present and checks the zero-length DCID validity
+  condition from Section 5.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.quic import tls
+from repro.quic.crypto import DecryptError, derive_initial_keys
+from repro.quic.frames import CryptoFrame, FrameParseError, crypto_payload
+from repro.quic.header import (
+    HeaderParseError,
+    LongHeader,
+    PacketType,
+    RetryPacket,
+    ShortHeader,
+    VersionNegotiationPacket,
+)
+from repro.quic.packet import split_datagram, unprotect_initial
+from repro.quic.versions import is_greased, version_by_value
+
+#: Minimum short-header datagram the dissector accepts: first byte +
+#: 8-byte CID + 1-byte packet number + 16-byte sample.
+MIN_SHORT_HEADER_LEN = 26
+
+# Legacy Google QUIC public flags (pre-IETF wire format).
+_GQUIC_FLAG_VERSION = 0x01
+_GQUIC_FLAG_CID = 0x08
+#: minimum gQUIC client packet: flags + 8B CID + 4B version + pn
+MIN_GQUIC_LEN = 14
+
+
+@dataclass
+class DissectedPacket:
+    """Summary of one QUIC packet inside a datagram."""
+
+    packet_type: PacketType
+    version: Optional[int] = None
+    version_name: Optional[str] = None
+    dcid: bytes = b""
+    scid: bytes = b""
+    token_length: int = 0
+    has_plain_client_hello: bool = False
+    client_hello_sni: Optional[str] = None
+    decrypted: bool = False
+
+
+@dataclass
+class Dissection:
+    """Result of dissecting one UDP payload."""
+
+    valid: bool
+    packets: list = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def packet_types(self) -> list:
+        return [p.packet_type for p in self.packets]
+
+    @property
+    def scids(self) -> list:
+        return [p.scid for p in self.packets if p.scid]
+
+    @property
+    def has_retry(self) -> bool:
+        return any(p.packet_type is PacketType.RETRY for p in self.packets)
+
+    @property
+    def has_version_negotiation(self) -> bool:
+        return any(
+            p.packet_type is PacketType.VERSION_NEGOTIATION for p in self.packets
+        )
+
+    @property
+    def all_dcids_empty(self) -> bool:
+        """The backscatter validity check of Section 5.2."""
+        long_headers = [
+            p
+            for p in self.packets
+            if p.packet_type in (PacketType.INITIAL, PacketType.HANDSHAKE, PacketType.ZERO_RTT)
+        ]
+        return bool(long_headers) and all(p.dcid == b"" for p in long_headers)
+
+
+class QuicDissector:
+    """Stateless dissector over UDP payloads.
+
+    Dissection is pure in the payload bytes, so results are memoized:
+    scan tools replay a bounded set of handshake templates, and a
+    telescope sees each template many thousands of times.
+    """
+
+    def __init__(
+        self, try_decrypt_initials: bool = True, cache_size: int = 4096
+    ) -> None:
+        self.try_decrypt_initials = try_decrypt_initials
+        self._cache: dict[bytes, Dissection] = {}
+        self._cache_size = cache_size
+
+    def dissect(self, payload: bytes) -> Dissection:
+        """Dissect one UDP payload into QUIC packet summaries.
+
+        ``valid=False`` means the payload is not QUIC (the classifier
+        then excludes the packet, as the paper excludes Wireshark
+        failures).
+        """
+        cached = self._cache.get(payload)
+        if cached is not None:
+            return cached
+        result = self._dissect_uncached(payload)
+        if len(self._cache) >= self._cache_size:
+            self._cache.clear()  # simple epoch eviction; hits dominate
+        self._cache[payload] = result
+        return result
+
+    def _dissect_uncached(self, payload: bytes) -> Dissection:
+        if not payload:
+            return Dissection(valid=False, error="empty payload")
+        try:
+            views = split_datagram(payload)
+        except HeaderParseError as exc:
+            gquic = self._dissect_gquic(payload)
+            if gquic is not None:
+                return gquic
+            return Dissection(valid=False, error=str(exc))
+        packets = []
+        for view in views:
+            if isinstance(view, ShortHeader):
+                if len(payload) - view.start < MIN_SHORT_HEADER_LEN:
+                    return Dissection(valid=False, error="short header too short")
+                packets.append(DissectedPacket(packet_type=PacketType.ONE_RTT))
+                continue
+            if isinstance(view, VersionNegotiationPacket):
+                packets.append(
+                    DissectedPacket(
+                        packet_type=PacketType.VERSION_NEGOTIATION,
+                        dcid=view.dcid,
+                        scid=view.scid,
+                    )
+                )
+                continue
+            if isinstance(view, RetryPacket):
+                known = version_by_value(view.version)
+                packets.append(
+                    DissectedPacket(
+                        packet_type=PacketType.RETRY,
+                        version=view.version,
+                        version_name=known.name if known else None,
+                        dcid=view.dcid,
+                        scid=view.scid,
+                        token_length=len(view.token),
+                    )
+                )
+                continue
+            packets.append(self._dissect_long(payload, view))
+        return Dissection(valid=True, packets=packets)
+
+    def _dissect_gquic(self, payload: bytes) -> Optional[Dissection]:
+        """Recognize legacy Google QUIC public headers (Q043/Q046).
+
+        gQUIC predates the RFC 8999 invariants: a public-flags byte
+        (version bit 0x01, connection-ID bit 0x08, both cleared in the
+        0x80/0x40 positions IETF QUIC uses), an 8-byte connection ID and
+        an ASCII version tag like ``Q043``.  Scanners still probe for
+        these servers, so the classifier must count them as QUIC.
+        """
+        if len(payload) < MIN_GQUIC_LEN:
+            return None
+        flags = payload[0]
+        if not (flags & _GQUIC_FLAG_VERSION) or not (flags & _GQUIC_FLAG_CID):
+            return None
+        if flags & 0xC0:
+            return None  # collides with IETF header space
+        version_tag = payload[9:13]
+        if not (version_tag[0:1] == b"Q" and version_tag[1:].isdigit()):
+            return None
+        version_value = int.from_bytes(version_tag, "big")
+        known = version_by_value(version_value)
+        summary = DissectedPacket(
+            packet_type=PacketType.GQUIC,
+            version=version_value,
+            version_name=known.name if known else f"gQUIC-{version_tag.decode()}",
+            dcid=payload[1:9],
+            has_plain_client_hello=b"CHLO" in payload[13:40],
+        )
+        return Dissection(valid=True, packets=[summary])
+
+    def _dissect_long(self, payload: bytes, view: LongHeader) -> DissectedPacket:
+        known = version_by_value(view.version)
+        summary = DissectedPacket(
+            packet_type=view.packet_type,
+            version=view.version,
+            version_name=known.name if known else None,
+            dcid=view.dcid,
+            scid=view.scid,
+            token_length=len(view.token),
+        )
+        if view.version != 0 and known is None and not is_greased(view.version):
+            # Unknown version: header-level dissection only, like
+            # Wireshark with an unsupported draft.
+            return summary
+        should_try = (
+            self.try_decrypt_initials
+            and known is not None
+            and known.ietf_layout
+            and view.packet_type is PacketType.INITIAL
+            and len(view.dcid) > 0
+        )
+        if should_try:
+            # Client Initials are keyed on the wire DCID: decryptable.
+            try:
+                client_keys, _server_keys = derive_initial_keys(known, view.dcid)
+                _pn, frames = unprotect_initial(payload, view, client_keys)
+            except (DecryptError, FrameParseError, HeaderParseError, ValueError):
+                return summary
+            summary.decrypted = True
+            stream = crypto_payload(
+                [f for f in frames if isinstance(f, CryptoFrame)]
+            )
+            if stream and tls.looks_like_client_hello(stream):
+                summary.has_plain_client_hello = True
+                try:
+                    summary.client_hello_sni = tls.ClientHello.parse(stream).server_name
+                except tls.TlsParseError:
+                    pass
+        return summary

@@ -1,0 +1,160 @@
+"""Machine-readable result export (the artifact angle).
+
+The paper publishes its analysis artifacts on Zenodo; this module is
+the reproduction's equivalent: every figure's underlying data series is
+written as CSV plus one JSON summary, so results can be re-plotted or
+diffed across runs without re-running the pipeline.
+
+Layout written by :func:`export_results`::
+
+    <dir>/summary.json          headline numbers
+    <dir>/fig2_hourly.csv       hour, research_packets, other_packets
+    <dir>/fig3_hourly.csv       hour, requests, responses
+    <dir>/fig4_timeout.csv      timeout_minutes, sessions
+    <dir>/fig5_network_types.csv type, request_sessions, response_sessions
+    <dir>/fig6_victims.csv      victim, attacks
+    <dir>/fig7_attacks.csv      vector, start, duration, packets, max_pps
+    <dir>/fig8_categories.csv   category, count
+    <dir>/fig12_overlap.csv     overlap_share
+    <dir>/fig13_gaps.csv        gap_seconds
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.net.addresses import format_ipv4
+from repro.core.pipeline import PipelineResult
+
+
+def _write_csv(path: Path, header: list, rows: list) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_results(result: PipelineResult, directory: Union[str, Path]) -> list:
+    """Write all data series; returns the list of files written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+
+    def emit(name: str, header: list, rows: list) -> None:
+        path = directory / name
+        _write_csv(path, header, rows)
+        written.append(path)
+
+    hours = sorted(set(result.hourly_research) | set(result.hourly_other_quic))
+    emit(
+        "fig2_hourly.csv",
+        ["hour", "research_packets", "other_packets"],
+        [
+            [h, result.hourly_research.get(h, 0), result.hourly_other_quic.get(h, 0)]
+            for h in hours
+        ],
+    )
+    hours = sorted(set(result.hourly_requests) | set(result.hourly_responses))
+    emit(
+        "fig3_hourly.csv",
+        ["hour", "requests", "responses"],
+        [
+            [h, result.hourly_requests.get(h, 0), result.hourly_responses.get(h, 0)]
+            for h in hours
+        ],
+    )
+    if result.timeout_sweep is not None and result.timeout_sweep.source_count:
+        emit(
+            "fig4_timeout.csv",
+            ["timeout_minutes", "sessions"],
+            [[m, s] for m, s in result.timeout_sweep.sweep(range(1, 61))],
+        )
+    emit(
+        "fig5_network_types.csv",
+        ["network_type", "request_sessions", "response_sessions"],
+        [
+            [
+                t.value,
+                result.request_network_types.get(t, 0),
+                result.response_network_types.get(t, 0),
+            ]
+            for t in sorted(
+                set(result.request_network_types) | set(result.response_network_types),
+                key=lambda t: t.value,
+            )
+        ],
+    )
+    if result.victim_analysis is not None:
+        emit(
+            "fig6_victims.csv",
+            ["victim", "attacks"],
+            [
+                [format_ipv4(ip), n]
+                for ip, n in sorted(
+                    result.victim_analysis.attacks_per_victim.items(),
+                    key=lambda kv: -kv[1],
+                )
+            ],
+        )
+    emit(
+        "fig7_attacks.csv",
+        ["vector", "start", "duration", "packets", "max_pps"],
+        [
+            [a.vector, f"{a.start:.3f}", f"{a.duration:.3f}", a.packet_count, f"{a.max_pps:.4f}"]
+            for a in result.quic_attacks + result.common_attacks
+        ],
+    )
+    if result.multivector is not None:
+        emit(
+            "fig8_categories.csv",
+            ["category", "count"],
+            sorted(result.multivector.by_category().items()),
+        )
+        emit(
+            "fig12_overlap.csv",
+            ["overlap_share"],
+            [[f"{s:.4f}"] for s in result.multivector.overlap_shares],
+        )
+        emit(
+            "fig13_gaps.csv",
+            ["gap_seconds"],
+            [[f"{g:.1f}"] for g in result.multivector.sequential_gaps],
+        )
+
+    summary = {
+        "window_start": result.window_start,
+        "window_end": result.window_end,
+        "total_packets": result.total_packets,
+        "class_counts": result.class_counts,
+        "research_sources": len(result.research_sources),
+        "research_packets": result.research_packets,
+        "request_share": result.request_share,
+        "quic_attacks": len(result.quic_attacks),
+        "common_attacks": len(result.common_attacks),
+        "detection_rate": (
+            result.quic_detector.detection_rate if result.quic_detector else None
+        ),
+        "victims": (
+            result.victim_analysis.victim_count if result.victim_analysis else 0
+        ),
+        "known_server_share": (
+            result.victim_analysis.known_server_share if result.victim_analysis else 0
+        ),
+        "category_shares": (
+            result.multivector.category_shares() if result.multivector else {}
+        ),
+        "message_type_shares": result.message_type_shares(),
+        "empty_dcid_share": result.empty_dcid_share,
+        "passive_retry_packets": result.passive_retry_packets,
+        "retry_deployed": (
+            result.retry_audit.retry_deployed if result.retry_audit else None
+        ),
+    }
+    summary_path = directory / "summary.json"
+    with open(summary_path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+    written.append(summary_path)
+    return written

@@ -1,0 +1,102 @@
+"""Telescope-to-Internet extrapolation (Section 5.2 arithmetic).
+
+A /9 darknet observes 1/512 of randomly spoofed traffic, so the paper
+scales observed rates by 512: a 1 max-pps backscatter event implies
+~512 pps toward the victim, and the largest observed event (27 pps)
+extrapolates to 27 * 512 = 13,824 pps — past the rates that break the
+4-worker NGINX setup in Table 1.
+
+Beyond the point estimate, this module quantifies the *sampling*
+uncertainty of that inference: packets land in the telescope
+binomially with p = 1/extrapolation_factor, so an observed count k over
+a window gives a confidence interval on the true rate (normal
+approximation to the binomial, which is accurate at the counts that
+pass the Moore thresholds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.net.addresses import IPv4Network
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """An Internet-wide rate inferred from telescope observations."""
+
+    observed_pps: float
+    factor: float
+    low_pps: float
+    estimated_pps: float
+    high_pps: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimated_pps:,.0f} pps "
+            f"[{self.low_pps:,.0f}, {self.high_pps:,.0f}] "
+            f"(observed {self.observed_pps:.2f} x {self.factor:.0f})"
+        )
+
+
+class TelescopeExtrapolator:
+    """Scales telescope observations to Internet-wide quantities."""
+
+    def __init__(self, prefix: IPv4Network) -> None:
+        self.prefix = prefix
+
+    @property
+    def factor(self) -> float:
+        """1/coverage — 512 for the paper's /9."""
+        return 2.0 ** self.prefix.prefix_len
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of IPv4 the telescope observes (2 permil for a /9)."""
+        return 1.0 / self.factor
+
+    def rate(self, observed_pps: float, window: float = 60.0, z: float = 1.96) -> RateEstimate:
+        """Internet-wide packet rate with a (1-alpha) confidence band.
+
+        ``observed_pps`` is the telescope rate over ``window`` seconds.
+        The observed count k = observed_pps * window is binomial with
+        p = coverage; the interval follows from k ± z*sqrt(k) (each
+        spoofed packet lands in the telescope independently).
+        """
+        if observed_pps < 0:
+            raise ValueError("observed rate cannot be negative")
+        count = observed_pps * window
+        spread = z * math.sqrt(count) if count > 0 else 0.0
+        return RateEstimate(
+            observed_pps=observed_pps,
+            factor=self.factor,
+            low_pps=max(0.0, (count - spread) / window) * self.factor,
+            estimated_pps=observed_pps * self.factor,
+            high_pps=(count + spread) / window * self.factor,
+        )
+
+    def attack_rate(self, attack) -> RateEstimate:
+        """Internet-wide rate of a detected flood (uses its max-pps and
+        the 1-minute slot the maximum was measured over)."""
+        return self.rate(attack.max_pps, window=60.0)
+
+    def scan_packets_per_sweep(self) -> int:
+        """Packets one full-IPv4 single-packet sweep delivers here
+        (2^23 for a /9 — the Figure 2 constant)."""
+        return self.prefix.size
+
+    def detection_probability(self, total_spoofed_packets: float) -> float:
+        """Probability that a randomly spoofed event of N packets is
+        seen at all (at least one packet lands in the telescope)."""
+        if total_spoofed_packets < 0:
+            raise ValueError("packet count cannot be negative")
+        return 1.0 - (1.0 - self.coverage) ** total_spoofed_packets
+
+    def min_rate_for_threshold(
+        self, threshold_pps: float = 0.5
+    ) -> float:
+        """Smallest Internet-wide flood rate whose expected telescope
+        rate clears a per-slot threshold — the detection floor the
+        Moore max-pps rule implies for this telescope size."""
+        return threshold_pps * self.factor

@@ -1,0 +1,335 @@
+"""The end-to-end QUICsand pipeline.
+
+One streaming pass over a telescope capture produces everything the
+paper's evaluation reports:
+
+1. classify each packet (port + dissector, Section 4.1);
+2. keep hourly counters — research-vs-other for Figure 2, sanitized
+   requests/responses for Figure 3;
+3. feed per-class sessionizers (5-minute timeout) and the timeout
+   sweep of Figure 4;
+4. at finalization: identify research scanners (education-AS sources
+   above a packet threshold) and remove their bias; detect floods with
+   the Moore thresholds; correlate multi-vector attacks; attribute
+   victims via census and PeeringDB metadata; fingerprint SCID usage;
+   correlate request sources with GreyNoise; audit RETRY.
+
+The pipeline never stores raw packets — memory is bounded by the
+number of distinct sources and sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.internet.activescan import ActiveScanCensus
+from repro.internet.asn import AsRegistry, NetworkType
+from repro.internet.greynoise import GreyNoisePlatform
+from repro.util.rng import SeededRng
+from repro.util.timeutil import HOUR
+from repro.core.classify import PacketClass, TrafficClassifier
+from repro.core.dos import DosDetector, DosThresholds
+from repro.core.multivector import MultiVectorAnalysis, correlate_attacks
+from repro.core.retry_audit import RetryAudit, audit_retry
+from repro.core.scid import fingerprint_attacks, provider_profiles
+from repro.core.sessions import DEFAULT_TIMEOUT, Sessionizer, TimeoutSweep
+from repro.core.victims import VictimAnalysis, analyze_victims, session_network_types
+
+
+@dataclass
+class AnalysisConfig:
+    """Pipeline knobs (paper defaults)."""
+
+    session_timeout: float = DEFAULT_TIMEOUT
+    thresholds: DosThresholds = field(default_factory=DosThresholds)
+    #: a source is a research scanner when it sits in an education AS
+    #: and exceeds this many QUIC packets.
+    research_min_packets: int = 1000
+    dissect_payloads: bool = True
+    #: probe this many top victims in the active RETRY audit.
+    retry_probe_count: int = 10
+    audit_seed: int = 424242
+
+
+@dataclass
+class PipelineResult:
+    """Everything the benches and examples render."""
+
+    window_start: float
+    window_end: float
+    config: AnalysisConfig
+
+    # packet-level
+    total_packets: int = 0
+    class_counts: dict = field(default_factory=dict)
+    research_sources: set = field(default_factory=set)
+    research_packets: int = 0
+    hourly_research: dict = field(default_factory=dict)
+    hourly_other_quic: dict = field(default_factory=dict)
+    hourly_requests: dict = field(default_factory=dict)
+    hourly_responses: dict = field(default_factory=dict)
+    dissection_failures: int = 0
+    response_long_header_packets: int = 0
+    response_empty_dcid_packets: int = 0
+    passive_retry_packets: int = 0
+
+    # session-level (sanitized: research removed)
+    request_sessions: list = field(default_factory=list)
+    response_sessions: list = field(default_factory=list)
+    tcp_sessions: list = field(default_factory=list)
+    icmp_sessions: list = field(default_factory=list)
+    timeout_sweep: Optional[TimeoutSweep] = None
+
+    # attack-level
+    quic_detector: Optional[DosDetector] = None
+    common_detector: Optional[DosDetector] = None
+    multivector: Optional[MultiVectorAnalysis] = None
+    victim_analysis: Optional[VictimAnalysis] = None
+    fingerprints: list = field(default_factory=list)
+    profiles: dict = field(default_factory=dict)
+    retry_audit: Optional[RetryAudit] = None
+
+    # correlation
+    greynoise_summary: dict = field(default_factory=dict)
+    request_country_counts: dict = field(default_factory=dict)
+    request_network_types: dict = field(default_factory=dict)
+    response_network_types: dict = field(default_factory=dict)
+
+    # -- convenience -----------------------------------------------------
+
+    @property
+    def quic_attacks(self) -> list:
+        return self.quic_detector.attacks if self.quic_detector else []
+
+    @property
+    def common_attacks(self) -> list:
+        return self.common_detector.attacks if self.common_detector else []
+
+    @property
+    def sanitized_quic_packets(self) -> int:
+        return sum(self.hourly_other_quic.values())
+
+    @property
+    def request_share(self) -> float:
+        """Requests among sanitized QUIC packets (paper: 15%)."""
+        requests = sum(self.hourly_requests.values())
+        total = requests + sum(self.hourly_responses.values())
+        return requests / total if total else 0.0
+
+    @property
+    def research_share(self) -> float:
+        """Research scanners among all QUIC packets (paper: 98.5%,
+        subject to sweep sampling — see the scenario's research weight)."""
+        total = self.research_packets + self.sanitized_quic_packets
+        return self.research_packets / total if total else 0.0
+
+    def message_type_shares(self) -> dict:
+        """Initial/Handshake/... shares over response-session packets."""
+        totals: dict[str, int] = {}
+        for session in self.response_sessions:
+            for name, count in session.message_types.items():
+                totals[name] = totals.get(name, 0) + count
+        grand = sum(totals.values())
+        if not grand:
+            return {}
+        return {name: count / grand for name, count in sorted(totals.items())}
+
+    @property
+    def empty_dcid_share(self) -> float:
+        """Backscatter validity: long-header responses with DCID len 0."""
+        if not self.response_long_header_packets:
+            return 0.0
+        return self.response_empty_dcid_packets / self.response_long_header_packets
+
+
+class QuicsandPipeline:
+    """Single-pass streaming analysis of a telescope capture."""
+
+    def __init__(
+        self,
+        registry: Optional[AsRegistry] = None,
+        census: Optional[ActiveScanCensus] = None,
+        greynoise: Optional[GreyNoisePlatform] = None,
+        config: Optional[AnalysisConfig] = None,
+    ) -> None:
+        self.registry = registry
+        self.census = census
+        self.greynoise = greynoise
+        self.config = config or AnalysisConfig()
+
+    def process(self, stream: Iterable) -> PipelineResult:
+        """Consume a time-ordered packet stream and analyze it."""
+        cfg = self.config
+        classifier = TrafficClassifier(dissect_payloads=cfg.dissect_payloads)
+        sweep = TimeoutSweep()
+        sessionizers = {
+            PacketClass.QUIC_REQUEST: Sessionizer("quic-request", cfg.session_timeout),
+            PacketClass.QUIC_RESPONSE: Sessionizer("quic-response", cfg.session_timeout),
+            PacketClass.TCP_BACKSCATTER: Sessionizer("tcp-backscatter", cfg.session_timeout),
+            PacketClass.ICMP_BACKSCATTER: Sessionizer("icmp-backscatter", cfg.session_timeout),
+        }
+        quic_source_packets: dict[int, int] = {}
+        per_source_hourly: dict[int, dict] = {}
+        hourly_requests: dict[int, int] = {}
+        hourly_responses: dict[int, int] = {}
+        window_start = None
+        window_end = None
+        total = 0
+        response_long = 0
+        response_empty_dcid = 0
+        retry_packets = 0
+
+        for packet in stream:
+            total += 1
+            if window_start is None:
+                window_start = packet.timestamp
+            window_end = packet.timestamp
+            classified = classifier.classify(packet)
+            cls = classified.packet_class
+            if cls.is_quic:
+                hour = int(packet.timestamp // HOUR)
+                source = packet.src
+                quic_source_packets[source] = quic_source_packets.get(source, 0) + 1
+                if cls is PacketClass.QUIC_REQUEST:
+                    per_source_hourly.setdefault(source, {})
+                    per_source_hourly[source][hour] = (
+                        per_source_hourly[source].get(hour, 0) + 1
+                    )
+                    hourly_requests[hour] = hourly_requests.get(hour, 0) + 1
+                else:
+                    hourly_responses[hour] = hourly_responses.get(hour, 0) + 1
+                    dissection = classified.dissection
+                    if dissection is not None and dissection.valid:
+                        if dissection.has_retry:
+                            retry_packets += 1
+                        long_headers = [
+                            p
+                            for p in dissection.packets
+                            if p.packet_type.name in ("INITIAL", "HANDSHAKE", "ZERO_RTT")
+                        ]
+                        if long_headers:
+                            response_long += 1
+                            if all(p.dcid == b"" for p in long_headers):
+                                response_empty_dcid += 1
+                sweep.observe(source, packet.timestamp)
+                sessionizers[cls].add(classified)
+            elif cls in (PacketClass.TCP_BACKSCATTER, PacketClass.ICMP_BACKSCATTER):
+                sessionizers[cls].add(classified)
+
+        for sessionizer in sessionizers.values():
+            sessionizer.flush()
+
+        result = PipelineResult(
+            window_start=window_start or 0.0,
+            window_end=window_end or 0.0,
+            config=cfg,
+            total_packets=total,
+            class_counts={cls.value: n for cls, n in classifier.counters.items() if n},
+            dissection_failures=classifier.false_positive_count,
+            response_long_header_packets=response_long,
+            response_empty_dcid_packets=response_empty_dcid,
+            passive_retry_packets=retry_packets,
+            hourly_requests=hourly_requests,
+            hourly_responses=hourly_responses,
+        )
+        self._identify_research(result, quic_source_packets, per_source_hourly)
+        sweep.exclude_sources(result.research_sources)
+        result.timeout_sweep = sweep
+        self._collect_sessions(result, sessionizers)
+        self._detect_attacks(result)
+        self._correlate(result)
+        return result
+
+    # -- finalization steps ----------------------------------------------
+
+    def _identify_research(
+        self,
+        result: PipelineResult,
+        quic_source_packets: dict,
+        per_source_hourly: dict,
+    ) -> None:
+        """Education-AS heavy hitters are research scanners (Figure 2)."""
+        cfg = self.config
+        for source, count in quic_source_packets.items():
+            if count < cfg.research_min_packets:
+                continue
+            if self.registry is not None:
+                if self.registry.network_type_of(source) is not NetworkType.EDUCATION:
+                    continue
+            result.research_sources.add(source)
+            result.research_packets += count
+        # hourly research vs other QUIC series
+        for source, hours in per_source_hourly.items():
+            target = (
+                result.hourly_research
+                if source in result.research_sources
+                else result.hourly_other_quic
+            )
+            for hour, count in hours.items():
+                target[hour] = target.get(hour, 0) + count
+        for hour, count in result.hourly_responses.items():
+            result.hourly_other_quic[hour] = (
+                result.hourly_other_quic.get(hour, 0) + count
+            )
+        # sanitize the request series
+        for source in result.research_sources:
+            for hour, count in per_source_hourly.get(source, {}).items():
+                result.hourly_requests[hour] -= count
+                if result.hourly_requests[hour] <= 0:
+                    del result.hourly_requests[hour]
+
+    def _collect_sessions(self, result: PipelineResult, sessionizers: dict) -> None:
+        research = result.research_sources
+        result.request_sessions = [
+            s
+            for s in sessionizers[PacketClass.QUIC_REQUEST].closed
+            if s.source not in research
+        ]
+        result.response_sessions = sessionizers[PacketClass.QUIC_RESPONSE].closed
+        result.tcp_sessions = sessionizers[PacketClass.TCP_BACKSCATTER].closed
+        result.icmp_sessions = sessionizers[PacketClass.ICMP_BACKSCATTER].closed
+        if self.registry is not None:
+            result.request_network_types = session_network_types(
+                result.request_sessions, self.registry
+            )
+            result.response_network_types = session_network_types(
+                result.response_sessions, self.registry
+            )
+            for session in result.request_sessions:
+                system = self.registry.lookup(session.source)
+                country = system.country if system else "??"
+                result.request_country_counts[country] = (
+                    result.request_country_counts.get(country, 0) + 1
+                )
+        if self.greynoise is not None:
+            result.greynoise_summary = self.greynoise.classify_sources(
+                {s.source for s in result.request_sessions}
+            )
+
+    def _detect_attacks(self, result: PipelineResult) -> None:
+        result.quic_detector = DosDetector(self.config.thresholds)
+        result.quic_detector.detect_all(result.response_sessions)
+        result.common_detector = DosDetector(self.config.thresholds)
+        result.common_detector.detect_all(result.tcp_sessions)
+        result.common_detector.detect_all(result.icmp_sessions)
+
+    def _correlate(self, result: PipelineResult) -> None:
+        result.multivector = correlate_attacks(
+            result.quic_attacks, result.common_attacks
+        )
+        result.victim_analysis = analyze_victims(
+            result.quic_attacks, self.census, self.registry
+        )
+        result.fingerprints = fingerprint_attacks(result.quic_attacks, self.census)
+        result.profiles = provider_profiles(result.fingerprints)
+        if self.census is not None:
+            result.retry_audit = audit_retry(
+                census=self.census,
+                rng=SeededRng(self.config.audit_seed),
+                passive_retry_packets=result.passive_retry_packets,
+                passive_quic_packets=result.sanitized_quic_packets,
+                top_victims=result.victim_analysis.top_victims(
+                    self.config.retry_probe_count
+                ),
+            )

@@ -1,0 +1,231 @@
+"""Session aggregation: from packets to events (Section 5.1).
+
+Packets from one source belong to the same session while the gap
+between consecutive packets stays below an inactivity *timeout*.
+Figure 4 sweeps the timeout from 1 to 60 minutes and picks the 5-minute
+knee; :class:`TimeoutSweep` reproduces that analysis from recorded
+inter-packet gaps without re-running the sessionizer per timeout.
+
+Sessions accumulate exactly the summary statistics the downstream
+stages need (Moore-threshold fields, SCID/port/address sets for
+Figure 9, message-type tallies for Section 6) so the pipeline never
+stores raw packets.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.quic.header import PacketType
+from repro.util.timeutil import MINUTE
+from repro.core.classify import ClassifiedPacket
+
+#: The paper's chosen inactivity timeout (the Figure 4 knee).
+DEFAULT_TIMEOUT = 5 * MINUTE
+
+
+@dataclass
+class Session:
+    """One per-source traffic session."""
+
+    source: int
+    traffic_class: str
+    first_ts: float
+    last_ts: float = 0.0
+    packet_count: int = 0
+    byte_count: int = 0
+    dst_ips: set = field(default_factory=set)
+    dst_ports: set = field(default_factory=set)
+    scids: set = field(default_factory=set)
+    message_types: dict = field(default_factory=dict)
+    minute_slots: dict = field(default_factory=dict)
+    retry_packets: int = 0
+    version_names: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.last_ts - self.first_ts
+
+    @property
+    def max_pps(self) -> float:
+        """Maximum packet rate over the session's 1-minute slots."""
+        if not self.minute_slots:
+            return 0.0
+        return max(self.minute_slots.values()) / MINUTE
+
+    def add(self, classified: ClassifiedPacket) -> None:
+        packet = classified.packet
+        self.last_ts = packet.timestamp
+        self.packet_count += 1
+        self.byte_count += packet.wire_length
+        self.dst_ips.add(packet.dst)
+        if packet.dst_port is not None:
+            self.dst_ports.add(packet.dst_port)
+        slot = int(packet.timestamp // MINUTE)
+        self.minute_slots[slot] = self.minute_slots.get(slot, 0) + 1
+        dissection = classified.dissection
+        if dissection is not None and dissection.valid:
+            for summary in dissection.packets:
+                name = _type_name(summary.packet_type)
+                self.message_types[name] = self.message_types.get(name, 0) + 1
+                if summary.packet_type is PacketType.RETRY:
+                    self.retry_packets += 1
+                if summary.scid:
+                    self.scids.add(summary.scid)
+                if summary.version_name:
+                    self.version_names[summary.version_name] = (
+                        self.version_names.get(summary.version_name, 0) + 1
+                    )
+
+
+def _type_name(packet_type: PacketType) -> str:
+    return packet_type.name.lower().replace("_", "-")
+
+
+class Sessionizer:
+    """Streaming per-source sessionizer for one traffic class.
+
+    Feed time-ordered packets with :meth:`add`; closed sessions are
+    handed to ``on_close`` (or collected in :attr:`closed`).  Call
+    :meth:`flush` at end of stream.
+    """
+
+    def __init__(
+        self,
+        traffic_class: str,
+        timeout: float = DEFAULT_TIMEOUT,
+        on_close: Optional[Callable[[Session], None]] = None,
+        record_gaps: bool = False,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError("session timeout must be positive")
+        self.traffic_class = traffic_class
+        self.timeout = timeout
+        self.on_close = on_close
+        self.closed: list = []
+        self._open: dict[int, Session] = {}
+        self.record_gaps = record_gaps
+        self.gaps: list = []
+        self.source_count = 0
+        self._seen_sources: set = set()
+
+    def add(self, classified: ClassifiedPacket) -> None:
+        packet = classified.packet
+        source = packet.src
+        session = self._open.get(source)
+        if session is not None:
+            gap = packet.timestamp - session.last_ts
+            if self.record_gaps:
+                self.gaps.append(gap)
+            if gap > self.timeout:
+                self._close(session)
+                session = None
+        if session is None:
+            if source not in self._seen_sources:
+                self._seen_sources.add(source)
+                self.source_count += 1
+            session = Session(
+                source=source,
+                traffic_class=self.traffic_class,
+                first_ts=packet.timestamp,
+                last_ts=packet.timestamp,
+            )
+            self._open[source] = session
+        session.add(classified)
+
+    def _close(self, session: Session) -> None:
+        del self._open[session.source]
+        if self.on_close is not None:
+            self.on_close(session)
+        else:
+            self.closed.append(session)
+
+    def flush(self) -> None:
+        """Close every open session (end of measurement window)."""
+        for session in list(self._open.values()):
+            self._close(session)
+
+    @property
+    def session_count(self) -> int:
+        return len(self.closed) + len(self._open)
+
+
+class TimeoutSweep:
+    """Figure 4: number of sessions as a function of the timeout.
+
+    Record every per-source inter-packet gap once; the session count for
+    timeout T is ``sources + |{gaps > T}|``, and ``sources`` is the
+    lower bound reached at timeout = infinity.  Gaps are kept per source
+    so sources identified later (research scanners) can be excluded
+    without a second pass over the packets.
+    """
+
+    def __init__(self) -> None:
+        self._last_seen: dict[int, float] = {}
+        self._gaps: dict[int, list] = {}
+        self._excluded: set = set()
+        self._sorted: Optional[list] = None
+
+    def observe(self, source: int, timestamp: float) -> None:
+        last = self._last_seen.get(source)
+        if last is not None:
+            self._gaps.setdefault(source, []).append(timestamp - last)
+            self._sorted = None
+        self._last_seen[source] = timestamp
+
+    def exclude_sources(self, sources) -> None:
+        """Drop sources (e.g. research scanners) from the sweep."""
+        new = set(sources) - self._excluded
+        if new:
+            self._excluded |= new
+            self._sorted = None
+
+    @property
+    def source_count(self) -> int:
+        return len(set(self._last_seen) - self._excluded)
+
+    @property
+    def packet_count(self) -> int:
+        gap_total = sum(
+            len(gaps)
+            for source, gaps in self._gaps.items()
+            if source not in self._excluded
+        )
+        return gap_total + self.source_count
+
+    def sessions_at(self, timeout: float) -> int:
+        """Session count under the given timeout (seconds)."""
+        if self._sorted is None:
+            self._sorted = sorted(
+                gap
+                for source, gaps in self._gaps.items()
+                if source not in self._excluded
+                for gap in gaps
+            )
+        index = bisect.bisect_right(self._sorted, timeout)
+        return self.source_count + len(self._sorted) - index
+
+    def sweep(self, timeouts_minutes: Iterable[float]) -> list:
+        """(timeout_minutes, session_count) series for Figure 4."""
+        return [
+            (minutes, self.sessions_at(minutes * MINUTE))
+            for minutes in timeouts_minutes
+        ]
+
+    def knee_minutes(
+        self, candidates: Iterable[float] = tuple(range(1, 61)), threshold: float = 0.02
+    ) -> float:
+        """Smallest timeout where the marginal session reduction per
+        extra minute drops below ``threshold`` of the remaining excess
+        over the infinity floor — the paper's ~5 minute knee."""
+        series = self.sweep(candidates)
+        floor = self.source_count
+        for (m1, s1), (_m2, s2) in zip(series, series[1:]):
+            excess = s1 - floor
+            if excess <= 0:
+                return m1
+            if (s1 - s2) / excess < threshold:
+                return m1
+        return series[-1][0]

@@ -1,0 +1,99 @@
+"""Victim attribution (Figures 6 and 9, Section 5.2).
+
+Maps detected flood victims onto the active-scan census and PeeringDB
+metadata: which fraction of attacks hit known QUIC servers (paper:
+98%), how attacks distribute over victims (more than half the victims
+are hit exactly once), and how they split across content providers
+(Google 58%, Facebook 25%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.internet.activescan import ActiveScanCensus
+from repro.internet.asn import AsRegistry, NetworkType
+
+
+@dataclass
+class VictimAnalysis:
+    """Aggregate victim statistics for a set of attacks."""
+
+    attack_count: int = 0
+    attacks_per_victim: dict = field(default_factory=dict)
+    known_quic_server_attacks: int = 0
+    provider_attacks: dict = field(default_factory=dict)
+    network_type_attacks: dict = field(default_factory=dict)
+
+    @property
+    def victim_count(self) -> int:
+        return len(self.attacks_per_victim)
+
+    @property
+    def known_server_share(self) -> float:
+        """Fraction of attacks hitting census-known QUIC servers."""
+        if not self.attack_count:
+            return 0.0
+        return self.known_quic_server_attacks / self.attack_count
+
+    @property
+    def single_attack_victim_share(self) -> float:
+        """Fraction of victims attacked exactly once (Figure 6)."""
+        if not self.attacks_per_victim:
+            return 0.0
+        singles = sum(1 for count in self.attacks_per_victim.values() if count == 1)
+        return singles / len(self.attacks_per_victim)
+
+    def provider_share(self, provider: str) -> float:
+        if not self.attack_count:
+            return 0.0
+        return self.provider_attacks.get(provider, 0) / self.attack_count
+
+    def attacks_per_victim_sorted(self) -> list:
+        """Victim attack counts, descending — the Figure 6 sample."""
+        return sorted(self.attacks_per_victim.values(), reverse=True)
+
+    def top_victims(self, n: int = 10) -> list:
+        """(victim_ip, attack_count) for the most-attacked victims."""
+        ranked = sorted(
+            self.attacks_per_victim.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return ranked[:n]
+
+
+def analyze_victims(
+    attacks: list,
+    census: Optional[ActiveScanCensus] = None,
+    registry: Optional[AsRegistry] = None,
+) -> VictimAnalysis:
+    """Attribute a list of :class:`~repro.core.dos.FloodAttack`."""
+    analysis = VictimAnalysis()
+    for attack in attacks:
+        analysis.attack_count += 1
+        victim = attack.victim_ip
+        analysis.attacks_per_victim[victim] = (
+            analysis.attacks_per_victim.get(victim, 0) + 1
+        )
+        if census is not None:
+            record = census.get(victim)
+            if record is not None:
+                analysis.known_quic_server_attacks += 1
+                analysis.provider_attacks[record.provider] = (
+                    analysis.provider_attacks.get(record.provider, 0) + 1
+                )
+        if registry is not None:
+            network_type = registry.network_type_of(victim)
+            analysis.network_type_attacks[network_type] = (
+                analysis.network_type_attacks.get(network_type, 0) + 1
+            )
+    return analysis
+
+
+def session_network_types(sessions: list, registry: AsRegistry) -> dict:
+    """Figure 5: session counts per source network type."""
+    counts: dict[NetworkType, int] = {}
+    for session in sessions:
+        network_type = registry.network_type_of(session.source)
+        counts[network_type] = counts.get(network_type, 0) + 1
+    return counts

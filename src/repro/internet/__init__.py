@@ -1,0 +1,36 @@
+"""Synthetic Internet model: ASes, prefixes, census and threat-intel data.
+
+The paper contextualizes telescope traffic with three external data
+sources, all rebuilt here from scratch:
+
+- PeeringDB-style AS metadata → :mod:`repro.internet.asn` (registry,
+  network types) over a longest-prefix-match trie
+  (:mod:`repro.internet.prefix_trie`),
+- the active QUIC-server census of Rüth et al. →
+  :mod:`repro.internet.activescan`,
+- the GreyNoise honeypot platform → :mod:`repro.internet.greynoise`.
+
+:mod:`repro.internet.topology` assembles a full synthetic Internet
+(content providers, eyeball networks with bots, research universities,
+transit) that the telescope scenarios draw from.
+"""
+
+from repro.internet.asn import AsRegistry, AutonomousSystem, NetworkType
+from repro.internet.prefix_trie import PrefixTrie
+from repro.internet.activescan import ActiveScanCensus, QuicServerRecord
+from repro.internet.greynoise import GreyNoisePlatform, GreyNoiseRecord, GreyNoiseTag
+from repro.internet.topology import InternetModel, TopologyConfig
+
+__all__ = [
+    "AsRegistry",
+    "AutonomousSystem",
+    "NetworkType",
+    "PrefixTrie",
+    "ActiveScanCensus",
+    "QuicServerRecord",
+    "GreyNoisePlatform",
+    "GreyNoiseRecord",
+    "GreyNoiseTag",
+    "InternetModel",
+    "TopologyConfig",
+]

@@ -1,0 +1,107 @@
+"""GreyNoise-style honeypot threat-intelligence platform.
+
+The paper correlates request-session sources with GreyNoise and finds
+*no* benign scanners among them, with 2.3% tagged as known bruteforcers
+or botnet members (Mirai, EternalBlue).  This module reproduces the
+reactive vantage point: the traffic simulation registers its actors
+here, and the analysis later queries classifications exactly like the
+GreyNoise API — by source IP.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+class GreyNoiseTag(enum.Enum):
+    BENIGN_SCANNER = "benign scanner"
+    BRUTEFORCER = "known bruteforcer"
+    MIRAI = "Mirai botnet"
+    ETERNALBLUE = "EternalBlue"
+    SPOOFABLE = "spoofable"
+    UNKNOWN = "unknown"
+
+
+#: Tags GreyNoise would classify as malicious.
+MALICIOUS_TAGS = frozenset(
+    {GreyNoiseTag.BRUTEFORCER, GreyNoiseTag.MIRAI, GreyNoiseTag.ETERNALBLUE}
+)
+
+
+@dataclass
+class GreyNoiseRecord:
+    """Classification of one source IP."""
+
+    address: int
+    tags: frozenset
+    actor: str = "unknown"
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+
+    @property
+    def is_benign(self) -> bool:
+        return GreyNoiseTag.BENIGN_SCANNER in self.tags
+
+    @property
+    def is_malicious(self) -> bool:
+        return bool(self.tags & MALICIOUS_TAGS)
+
+
+class GreyNoisePlatform:
+    """Lookup service over honeypot observations."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, GreyNoiseRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def observe(
+        self,
+        address: int,
+        tags: Iterable[GreyNoiseTag],
+        actor: str = "unknown",
+        timestamp: float = 0.0,
+    ) -> GreyNoiseRecord:
+        """Record honeypot contact from ``address`` (idempotent merge)."""
+        existing = self._records.get(address)
+        if existing is None:
+            record = GreyNoiseRecord(
+                address=address,
+                tags=frozenset(tags),
+                actor=actor,
+                first_seen=timestamp,
+                last_seen=timestamp,
+            )
+            self._records[address] = record
+            return record
+        merged = GreyNoiseRecord(
+            address=address,
+            tags=existing.tags | frozenset(tags),
+            actor=existing.actor if existing.actor != "unknown" else actor,
+            first_seen=min(existing.first_seen, timestamp),
+            last_seen=max(existing.last_seen, timestamp),
+        )
+        self._records[address] = merged
+        return merged
+
+    def query(self, address: int) -> Optional[GreyNoiseRecord]:
+        """The record for an address, or ``None`` if never seen."""
+        return self._records.get(address)
+
+    def classify_sources(self, addresses: Iterable[int]) -> dict:
+        """Summary used in Section 5.2: counts per disposition."""
+        summary = {"benign": 0, "malicious": 0, "unknown": 0, "unseen": 0}
+        for address in addresses:
+            record = self.query(address)
+            if record is None:
+                summary["unseen"] += 1
+            elif record.is_benign:
+                summary["benign"] += 1
+            elif record.is_malicious:
+                summary["malicious"] += 1
+            else:
+                summary["unknown"] += 1
+        return summary

@@ -1,0 +1,83 @@
+"""A binary trie for longest-prefix matching of IPv4 addresses.
+
+This is the routing-table analogue behind every IP → AS lookup the
+analysis performs (Figure 5 attributes sessions to network types via
+exactly this mapping).  Insertion is per-prefix; lookup walks at most
+32 levels and returns the most specific covering entry.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, TypeVar
+
+from repro.net.addresses import IPv4Network
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Maps CIDR prefixes to values with longest-prefix-match lookup."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, network: IPv4Network, value: V) -> None:
+        """Insert or replace the value for ``network``."""
+        node = self._root
+        for depth in range(network.prefix_len):
+            bit = (network.network >> (31 - depth)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _Node()
+            node = node.children[bit]
+        if not node.has_value:
+            self._count += 1
+        node.value = value
+        node.has_value = True
+
+    def lookup(self, address: int) -> Optional[V]:
+        """Longest-prefix match; ``None`` when no prefix covers the address."""
+        node = self._root
+        best: Optional[V] = node.value if node.has_value else None
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.has_value:
+                best = node.value
+        return best
+
+    def lookup_exact(self, network: IPv4Network) -> Optional[V]:
+        """Value stored for exactly this prefix, or ``None``."""
+        node = self._root
+        for depth in range(network.prefix_len):
+            bit = (network.network >> (31 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                return None
+        return node.value if node.has_value else None
+
+    def items(self) -> Iterator[tuple[IPv4Network, V]]:
+        """Yield (prefix, value) pairs in trie order."""
+        stack: list[tuple[_Node[V], int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, prefix_bits, depth = stack.pop()
+            if node.has_value:
+                yield IPv4Network(prefix_bits << (32 - depth) if depth else 0, depth), node.value
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append((child, (prefix_bits << 1) | bit, depth + 1))

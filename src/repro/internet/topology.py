@@ -1,0 +1,295 @@
+"""Builds the synthetic Internet the telescope scenarios observe.
+
+The topology reproduces the *population structure* behind the paper's
+findings:
+
+- two research-university ASes (the stand-ins for TUM and RWTH) whose
+  scanners sweep the whole IPv4 space (98.5% of QUIC IBR, Figure 2);
+- large content-provider ASes ("Google", "Facebook", plus smaller CDNs)
+  operating the QUIC servers that become flood victims (Figure 9:
+  >83% of attacks hit the top two providers) — with the version mix the
+  paper observed (draft-29 for Google, mvfst-draft-27 for Facebook) and
+  RETRY supported-but-disabled (Section 6);
+- eyeball ASes across countries hosting the bots that scan UDP/443
+  (Figure 5; Bangladesh/USA/Algeria dominate request sources);
+- transit and enterprise ASes as background population.
+
+Everything is seeded; building twice with the same seed yields the same
+Internet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.addresses import IPv4Network, parse_ipv4
+from repro.util.rng import SeededRng
+from repro.internet.activescan import ActiveScanCensus, QuicServerRecord
+from repro.internet.asn import AsRegistry, NetworkType
+from repro.internet.greynoise import GreyNoisePlatform, GreyNoiseTag
+
+
+@dataclass
+class TopologyConfig:
+    """Knobs for the synthetic Internet; defaults give a laptop-scale
+    population whose *shares* match the paper."""
+
+    telescope_cidr: str = "44.0.0.0/9"
+    #: QUIC servers per major content provider.
+    google_servers: int = 120
+    facebook_servers: int = 60
+    other_content_ases: int = 8
+    servers_per_other_content: int = 8
+    #: Eyeball population (bot hosting).
+    eyeball_ases: int = 30
+    bots_per_eyeball: int = 12
+    #: Background ASes.
+    transit_ases: int = 6
+    enterprise_ases: int = 8
+    #: Fraction of bots with malicious GreyNoise tags (paper: 2.3%).
+    tagged_bot_fraction: float = 0.023
+    #: Version mixes observed in backscatter (Figure 9).
+    google_version_mix: tuple = (("draft-29", 0.78), ("v1", 0.22))
+    facebook_version_mix: tuple = (("mvfst-draft-27", 0.95), ("mvfst-exp", 0.05))
+    #: Request-source country shares (Section 5.2).
+    eyeball_countries: tuple = (
+        ("BD", 0.34),
+        ("US", 0.27),
+        ("DZ", 0.08),
+        ("BR", 0.08),
+        ("VN", 0.07),
+        ("IN", 0.06),
+        ("RU", 0.05),
+        ("CN", 0.05),
+    )
+
+
+@dataclass
+class ContentProvider:
+    """A content network operating many QUIC servers."""
+
+    name: str
+    asn: int
+    servers: list = field(default_factory=list)
+    version_mix: tuple = ()
+    keepalive_pings: int = 0
+
+
+@dataclass
+class BotHost:
+    """A compromised eyeball host that scans UDP/443."""
+
+    address: int
+    asn: int
+    country: str
+    tags: frozenset = frozenset()
+
+
+@dataclass
+class ResearchScanner:
+    """A university research scanner performing full-IPv4 sweeps."""
+
+    name: str
+    address: int
+    asn: int
+
+
+class InternetModel:
+    """The assembled synthetic Internet."""
+
+    def __init__(self, rng: SeededRng, config: TopologyConfig | None = None) -> None:
+        self.config = config or TopologyConfig()
+        self.rng = rng.child("topology")
+        self.registry = AsRegistry()
+        self.census = ActiveScanCensus()
+        self.greynoise = GreyNoisePlatform()
+        self.telescope_net = IPv4Network.from_cidr(self.config.telescope_cidr)
+        self.content_providers: list[ContentProvider] = []
+        self.research_scanners: list[ResearchScanner] = []
+        self.bot_hosts: list[BotHost] = []
+        self._next_asn = 64512
+        self._alloc_base = parse_ipv4("96.0.0.0")
+        self._build()
+
+    # -- prefix allocation ----------------------------------------------------
+
+    def _allocate_prefix(self, prefix_len: int) -> IPv4Network:
+        """Hand out the next non-telescope prefix of the requested size.
+
+        The base is aligned up to the prefix size first — otherwise the
+        network address would normalize *downwards* and overlap earlier
+        allocations.
+        """
+        size = 1 << (32 - prefix_len)
+        while True:
+            aligned = (self._alloc_base + size - 1) // size * size
+            candidate = IPv4Network(aligned, prefix_len)
+            self._alloc_base = candidate.last + 1
+            if self._alloc_base >= 2**32:
+                raise RuntimeError("address space exhausted")
+            overlap = (
+                candidate.first <= self.telescope_net.last
+                and self.telescope_net.first <= candidate.last
+            )
+            if not overlap:
+                return candidate
+
+    def _new_asn(self) -> int:
+        asn = self._next_asn
+        self._next_asn += 1
+        return asn
+
+    # -- build steps ------------------------------------------------------
+
+    def _build(self) -> None:
+        self._build_research()
+        self._build_content()
+        self._build_eyeballs()
+        self._build_background()
+
+    def _build_research(self) -> None:
+        for name in ("TUM-Research-Scan", "RWTH-Research-Scan"):
+            asn = self._new_asn()
+            prefix = self._allocate_prefix(20)
+            self.registry.register(
+                asn, name, NetworkType.EDUCATION, country="DE", prefixes=[prefix]
+            )
+            scanner_ip = prefix.address_at(self.rng.randint(1, prefix.size - 2))
+            self.research_scanners.append(ResearchScanner(name, scanner_ip, asn))
+            # Research scanners announce themselves; GreyNoise tags them
+            # benign (the paper identifies them and removes their bias).
+            self.greynoise.observe(
+                scanner_ip, [GreyNoiseTag.BENIGN_SCANNER], actor=name
+            )
+
+    def _build_content(self) -> None:
+        plan = [
+            ("Google", self.config.google_servers, self.config.google_version_mix, 1),
+            (
+                "Facebook",
+                self.config.facebook_servers,
+                self.config.facebook_version_mix,
+                0,
+            ),
+        ]
+        for i in range(self.config.other_content_ases):
+            plan.append(
+                (
+                    f"CDN-{i:02d}",
+                    self.config.servers_per_other_content,
+                    (("v1", 0.7), ("draft-29", 0.3)),
+                    0,
+                )
+            )
+        for name, server_count, version_mix, keepalives in plan:
+            asn = self._new_asn()
+            prefix = self._allocate_prefix(16)
+            self.registry.register(
+                asn, name, NetworkType.CONTENT, country="US", prefixes=[prefix]
+            )
+            provider = ContentProvider(
+                name=name, asn=asn, version_mix=version_mix, keepalive_pings=keepalives
+            )
+            used = set()
+            for _ in range(server_count):
+                while True:
+                    address = prefix.address_at(self.rng.randint(1, prefix.size - 2))
+                    if address not in used:
+                        used.add(address)
+                        break
+                versions = self._pick_versions(version_mix)
+                record = QuicServerRecord(
+                    address=address,
+                    asn=asn,
+                    provider=name,
+                    versions=versions,
+                    server_name=f"srv-{address & 0xFFFF:04x}.{name.lower()}.example",
+                    supports_retry=True,  # Section 6: supported...
+                    sends_retry=False,  # ...but deliberately not used
+                )
+                provider.servers.append(record)
+                self.census.add(record)
+            self.content_providers.append(provider)
+
+    def _pick_versions(self, mix: tuple) -> tuple:
+        names = [name for name, _w in mix]
+        weights = [w for _n, w in mix]
+        primary = names[self.rng.weighted_index(weights)]
+        return (primary,)
+
+    def _build_eyeballs(self) -> None:
+        countries = [c for c, _w in self.config.eyeball_countries]
+        weights = [w for _c, w in self.config.eyeball_countries]
+        for i in range(self.config.eyeball_ases):
+            country = countries[self.rng.weighted_index(weights)]
+            asn = self._new_asn()
+            prefix = self._allocate_prefix(16)
+            self.registry.register(
+                asn,
+                f"Eyeball-{country}-{i:02d}",
+                NetworkType.EYEBALL,
+                country=country,
+                prefixes=[prefix],
+            )
+            for _ in range(self.config.bots_per_eyeball):
+                address = prefix.address_at(self.rng.randint(1, prefix.size - 2))
+                tags: frozenset = frozenset()
+                if self.rng.random() < self.config.tagged_bot_fraction:
+                    tag = self.rng.choice(
+                        [
+                            GreyNoiseTag.BRUTEFORCER,
+                            GreyNoiseTag.MIRAI,
+                            GreyNoiseTag.ETERNALBLUE,
+                        ]
+                    )
+                    tags = frozenset({tag})
+                    self.greynoise.observe(address, tags, actor="botnet")
+                self.bot_hosts.append(BotHost(address, asn, country, tags))
+
+    def _build_background(self) -> None:
+        for i in range(self.config.transit_ases):
+            asn = self._new_asn()
+            self.registry.register(
+                asn,
+                f"Transit-{i:02d}",
+                NetworkType.NSP,
+                country="US",
+                prefixes=[self._allocate_prefix(15)],
+            )
+        for i in range(self.config.enterprise_ases):
+            asn = self._new_asn()
+            self.registry.register(
+                asn,
+                f"Enterprise-{i:02d}",
+                NetworkType.ENTERPRISE,
+                country="US",
+                prefixes=[self._allocate_prefix(19)],
+            )
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def all_quic_servers(self) -> list:
+        return self.census.all_records()
+
+    def provider(self, name: str) -> ContentProvider:
+        for provider in self.content_providers:
+            if provider.name == name:
+                return provider
+        raise KeyError(f"unknown content provider {name!r}")
+
+    def random_unrouted_address(self) -> int:
+        """An address outside every announced prefix and the telescope."""
+        while True:
+            address = self.rng.randint(0, 2**32 - 1)
+            if address in self.telescope_net:
+                continue
+            if self.registry.lookup(address) is None:
+                return address
+
+    def random_telescope_address(self, rng: SeededRng | None = None) -> int:
+        """A uniformly random address inside the telescope prefix."""
+        chooser = rng or self.rng
+        return self.telescope_net.address_at(
+            chooser.randint(0, self.telescope_net.size - 1)
+        )

@@ -1,0 +1,33 @@
+"""The Internet checksum (RFC 1071).
+
+Used by the IPv4, ICMP, TCP and UDP serializers.  TCP and UDP include
+the usual pseudo-header over source/destination addresses.
+"""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement 16-bit checksum over ``data``.
+
+    >>> hex(internet_checksum(bytes.fromhex("45000073000040004011b861c0a80001c0a800c7")))
+    '0x0'
+    """
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def pseudo_header(src: int, dst: int, proto: int, length: int) -> bytes:
+    """IPv4 pseudo-header used in TCP/UDP checksums."""
+    return (
+        src.to_bytes(4, "big")
+        + dst.to_bytes(4, "big")
+        + bytes([0, proto])
+        + length.to_bytes(2, "big")
+    )

@@ -1,0 +1,101 @@
+"""IPv4 header serialization and parsing (RFC 791, no options)."""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from repro.net.checksum import internet_checksum
+
+_HEADER = struct.Struct("!BBHHHBBHII")
+HEADER_LEN = _HEADER.size  # 20 bytes, options are not modeled
+
+
+class IPProto(enum.IntEnum):
+    """The IP protocol numbers the telescope pipeline distinguishes."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+
+@dataclass
+class IPv4Header:
+    """A minimal IPv4 header.
+
+    ``total_length`` covers header plus payload and is filled in by
+    :meth:`pack` when left at 0.  TTL defaults to 64; backscatter
+    generators vary it to mimic heterogeneous victim stacks.
+    """
+
+    src: int
+    dst: int
+    proto: int
+    total_length: int = 0
+    identification: int = 0
+    ttl: int = 64
+    flags_fragment: int = 0x4000  # don't-fragment, offset 0
+    tos: int = 0
+    checksum: int = field(default=0, compare=False)
+
+    def pack(self, payload_length: int) -> bytes:
+        """Serialize with a correct header checksum."""
+        total = self.total_length or HEADER_LEN + payload_length
+        head = _HEADER.pack(
+            (4 << 4) | 5,
+            self.tos,
+            total,
+            self.identification,
+            self.flags_fragment,
+            self.ttl,
+            self.proto,
+            0,
+            self.src,
+            self.dst,
+        )
+        self.checksum = internet_checksum(head)
+        self.total_length = total
+        return head[:10] + self.checksum.to_bytes(2, "big") + head[12:]
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["IPv4Header", bytes]:
+        """Parse a header, returning ``(header, payload)``.
+
+        Raises ``ValueError`` on truncation, bad version, or IHL < 5.
+        """
+        if len(data) < HEADER_LEN:
+            raise ValueError("IPv4 header truncated")
+        (
+            ver_ihl,
+            tos,
+            total,
+            ident,
+            flags_frag,
+            ttl,
+            proto,
+            checksum,
+            src,
+            dst,
+        ) = _HEADER.unpack_from(data)
+        version, ihl = ver_ihl >> 4, ver_ihl & 0xF
+        if version != 4:
+            raise ValueError(f"not an IPv4 packet (version={version})")
+        if ihl < 5:
+            raise ValueError(f"invalid IHL {ihl}")
+        header_len = ihl * 4
+        if len(data) < header_len:
+            raise ValueError("IPv4 options truncated")
+        header = cls(
+            src=src,
+            dst=dst,
+            proto=proto,
+            total_length=total,
+            identification=ident,
+            ttl=ttl,
+            flags_fragment=flags_frag,
+            tos=tos,
+            checksum=checksum,
+        )
+        payload_end = min(len(data), total) if total >= header_len else len(data)
+        return header, data[header_len:payload_end]

@@ -1,0 +1,129 @@
+"""The packet record shared by generators, pcaps, and the pipeline.
+
+A :class:`CapturedPacket` is a timestamped IPv4 packet with its parsed
+transport header and opaque transport payload.  Generators construct
+records directly (cheap); pcap I/O round-trips them through real wire
+bytes so that the analysis behaves identically on synthetic streams and
+on files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.net.addresses import format_ipv4
+from repro.net.icmp import IcmpHeader
+from repro.net.ipv4 import IPProto, IPv4Header
+from repro.net.tcp import TcpHeader
+from repro.net.udp import UdpHeader
+
+TransportHeader = Union[UdpHeader, TcpHeader, IcmpHeader]
+
+
+@dataclass
+class CapturedPacket:
+    """One packet as seen at the telescope."""
+
+    timestamp: float
+    ip: IPv4Header
+    transport: Optional[TransportHeader]
+    payload: bytes = b""
+
+    # -- convenience accessors -------------------------------------------
+
+    @property
+    def src(self) -> int:
+        return self.ip.src
+
+    @property
+    def dst(self) -> int:
+        return self.ip.dst
+
+    @property
+    def proto(self) -> int:
+        return self.ip.proto
+
+    @property
+    def src_port(self) -> Optional[int]:
+        if isinstance(self.transport, (UdpHeader, TcpHeader)):
+            return self.transport.src_port
+        return None
+
+    @property
+    def dst_port(self) -> Optional[int]:
+        if isinstance(self.transport, (UdpHeader, TcpHeader)):
+            return self.transport.dst_port
+        return None
+
+    @property
+    def is_udp(self) -> bool:
+        return self.proto == IPProto.UDP
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.proto == IPProto.TCP
+
+    @property
+    def is_icmp(self) -> bool:
+        return self.proto == IPProto.ICMP
+
+    # -- wire round-trip ---------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to IPv4 wire bytes (checksums filled in)."""
+        if isinstance(self.transport, UdpHeader):
+            body = self.transport.pack(self.payload, self.ip.src, self.ip.dst)
+        elif isinstance(self.transport, TcpHeader):
+            body = self.transport.pack(self.payload, self.ip.src, self.ip.dst)
+        elif isinstance(self.transport, IcmpHeader):
+            body = self.transport.pack(self.payload)
+        else:
+            body = self.payload
+        return self.ip.pack(len(body)) + body
+
+    @classmethod
+    def from_bytes(cls, timestamp: float, data: bytes) -> "CapturedPacket":
+        """Parse wire bytes into a record.
+
+        Unknown transport protocols keep the raw payload and a ``None``
+        transport header — the classifier treats them as non-QUIC.
+        """
+        ip, ip_payload = IPv4Header.parse(data)
+        transport: Optional[TransportHeader] = None
+        payload = ip_payload
+        try:
+            if ip.proto == IPProto.UDP:
+                transport, payload = UdpHeader.parse(ip_payload)
+            elif ip.proto == IPProto.TCP:
+                transport, payload = TcpHeader.parse(ip_payload)
+            elif ip.proto == IPProto.ICMP:
+                transport, payload = IcmpHeader.parse(ip_payload)
+        except ValueError:
+            transport, payload = None, ip_payload
+        return cls(timestamp=timestamp, ip=ip, transport=transport, payload=payload)
+
+    @property
+    def wire_length(self) -> int:
+        """Total IPv4 length without serializing."""
+        if self.ip.total_length:
+            return self.ip.total_length
+        from repro.net import icmp, ipv4, tcp, udp
+
+        transport_len = {
+            UdpHeader: udp.HEADER_LEN,
+            TcpHeader: tcp.HEADER_LEN,
+            IcmpHeader: icmp.HEADER_LEN,
+        }.get(type(self.transport), 0)
+        return ipv4.HEADER_LEN + transport_len + len(self.payload)
+
+    def __repr__(self) -> str:
+        proto = {1: "ICMP", 6: "TCP", 17: "UDP"}.get(self.proto, str(self.proto))
+        ports = ""
+        if self.src_port is not None:
+            ports = f" {self.src_port}->{self.dst_port}"
+        return (
+            f"CapturedPacket(t={self.timestamp:.3f} {proto} "
+            f"{format_ipv4(self.src)}->{format_ipv4(self.dst)}{ports} "
+            f"len={len(self.payload)})"
+        )

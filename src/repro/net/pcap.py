@@ -1,0 +1,104 @@
+"""Classic libpcap file format reader/writer.
+
+The format (the pre-pcapng ``.pcap``) is a 24-byte global header and a
+16-byte per-record header; we write linktype 101 (``LINKTYPE_RAW``,
+packets start at the IPv4 header) so records map one-to-one onto
+:class:`~repro.net.packet.CapturedPacket`.  Both byte orders and both
+microsecond/nanosecond magics are accepted on read.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, Union
+
+from repro.net.packet import CapturedPacket
+
+MAGIC_MICROS = 0xA1B2C3D4
+MAGIC_NANOS = 0xA1B23C4D
+LINKTYPE_RAW = 101
+SNAPLEN = 65535
+
+_GLOBAL = struct.Struct("<IHHiIII")
+_RECORD = struct.Struct("<IIII")
+
+
+class PcapFormatError(ValueError):
+    """Raised for malformed pcap files."""
+
+
+class PcapWriter:
+    """Streams :class:`CapturedPacket` records into a pcap file."""
+
+    def __init__(self, stream: BinaryIO, linktype: int = LINKTYPE_RAW) -> None:
+        self._stream = stream
+        self._stream.write(
+            _GLOBAL.pack(MAGIC_MICROS, 2, 4, 0, 0, SNAPLEN, linktype)
+        )
+
+    def write(self, packet: CapturedPacket) -> None:
+        data = packet.to_bytes()
+        seconds = int(packet.timestamp)
+        micros = int(round((packet.timestamp - seconds) * 1e6))
+        if micros >= 1_000_000:
+            seconds += 1
+            micros -= 1_000_000
+        self._stream.write(_RECORD.pack(seconds, micros, len(data), len(data)))
+        self._stream.write(data)
+
+
+class PcapReader:
+    """Iterates :class:`CapturedPacket` records from a pcap file."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        header = stream.read(_GLOBAL.size)
+        if len(header) < _GLOBAL.size:
+            raise PcapFormatError("truncated pcap global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic in (MAGIC_MICROS, MAGIC_NANOS):
+            self._endian = "<"
+        elif magic in (
+            struct.unpack(">I", struct.pack("<I", MAGIC_MICROS))[0],
+            struct.unpack(">I", struct.pack("<I", MAGIC_NANOS))[0],
+        ):
+            self._endian = ">"
+            magic = struct.unpack(">I", header[:4])[0]
+        else:
+            raise PcapFormatError(f"bad pcap magic {magic:#x}")
+        self._tick = 1e-9 if magic == MAGIC_NANOS else 1e-6
+        fields = struct.unpack(self._endian + "IHHiIII", header)
+        self.linktype = fields[6]
+
+    def __iter__(self) -> Iterator[CapturedPacket]:
+        record = struct.Struct(self._endian + "IIII")
+        while True:
+            head = self._stream.read(record.size)
+            if not head:
+                return
+            if len(head) < record.size:
+                raise PcapFormatError("truncated pcap record header")
+            seconds, fraction, caplen, _origlen = record.unpack(head)
+            data = self._stream.read(caplen)
+            if len(data) < caplen:
+                raise PcapFormatError("truncated pcap record body")
+            timestamp = seconds + fraction * self._tick
+            yield CapturedPacket.from_bytes(timestamp, data)
+
+
+def write_pcap(path: Union[str, Path], packets: Iterable[CapturedPacket]) -> int:
+    """Write ``packets`` to ``path``; returns the record count."""
+    count = 0
+    with open(path, "wb") as stream:
+        writer = PcapWriter(stream)
+        for packet in packets:
+            writer.write(packet)
+            count += 1
+    return count
+
+
+def read_pcap(path: Union[str, Path]) -> Iterator[CapturedPacket]:
+    """Yield packets from a pcap file (file stays open while iterating)."""
+    with open(path, "rb") as stream:
+        yield from PcapReader(stream)

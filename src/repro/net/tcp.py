@@ -1,0 +1,93 @@
+"""TCP header serialization and parsing (RFC 793, no options).
+
+The telescope sees TCP both as scan *requests* (SYN probes) and as
+*backscatter* from spoofed SYN floods (SYN-ACK and RST replies from
+victims), so flags handling is the part that matters here.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from repro.net.checksum import internet_checksum, pseudo_header
+from repro.net.ipv4 import IPProto
+
+_HEADER = struct.Struct("!HHIIBBHHH")
+HEADER_LEN = _HEADER.size  # 20
+
+
+class TcpFlags(enum.IntFlag):
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+
+
+@dataclass
+class TcpHeader:
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = TcpFlags.SYN
+    window: int = 65535
+    urgent: int = 0
+    checksum: int = field(default=0, compare=False)
+
+    @property
+    def is_syn_ack(self) -> bool:
+        return bool(self.flags & TcpFlags.SYN) and bool(self.flags & TcpFlags.ACK)
+
+    @property
+    def is_rst(self) -> bool:
+        return bool(self.flags & TcpFlags.RST)
+
+    def pack(self, payload: bytes, src_ip: int, dst_ip: int) -> bytes:
+        head = _HEADER.pack(
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            5 << 4,  # data offset, no options
+            int(self.flags),
+            self.window,
+            0,
+            self.urgent,
+        )
+        pseudo = pseudo_header(src_ip, dst_ip, IPProto.TCP, len(head) + len(payload))
+        self.checksum = internet_checksum(pseudo + head + payload)
+        return head[:16] + self.checksum.to_bytes(2, "big") + head[18:] + payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["TcpHeader", bytes]:
+        if len(data) < HEADER_LEN:
+            raise ValueError("TCP header truncated")
+        (
+            src,
+            dst,
+            seq,
+            ack,
+            offset_byte,
+            flags,
+            window,
+            checksum,
+            urgent,
+        ) = _HEADER.unpack_from(data)
+        data_offset = (offset_byte >> 4) * 4
+        if data_offset < HEADER_LEN or data_offset > len(data):
+            raise ValueError(f"invalid TCP data offset {data_offset}")
+        header = cls(
+            src_port=src,
+            dst_port=dst,
+            seq=seq,
+            ack=ack,
+            flags=TcpFlags(flags),
+            window=window,
+            urgent=urgent,
+            checksum=checksum,
+        )
+        return header, data[data_offset:]

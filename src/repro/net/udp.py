@@ -1,0 +1,43 @@
+"""UDP header serialization and parsing (RFC 768)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.net.checksum import internet_checksum, pseudo_header
+from repro.net.ipv4 import IPProto
+
+_HEADER = struct.Struct("!HHHH")
+HEADER_LEN = _HEADER.size  # 8
+
+
+@dataclass
+class UdpHeader:
+    """A UDP header; checksum is computed over the pseudo-header."""
+
+    src_port: int
+    dst_port: int
+    length: int = 0
+    checksum: int = field(default=0, compare=False)
+
+    def pack(self, payload: bytes, src_ip: int, dst_ip: int) -> bytes:
+        length = HEADER_LEN + len(payload)
+        head = _HEADER.pack(self.src_port, self.dst_port, length, 0)
+        pseudo = pseudo_header(src_ip, dst_ip, IPProto.UDP, length)
+        checksum = internet_checksum(pseudo + head + payload)
+        if checksum == 0:  # RFC 768: transmitted as all-ones
+            checksum = 0xFFFF
+        self.length = length
+        self.checksum = checksum
+        return head[:6] + checksum.to_bytes(2, "big") + payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["UdpHeader", bytes]:
+        if len(data) < HEADER_LEN:
+            raise ValueError("UDP header truncated")
+        src, dst, length, checksum = _HEADER.unpack_from(data)
+        if length < HEADER_LEN:
+            raise ValueError(f"invalid UDP length {length}")
+        header = cls(src_port=src, dst_port=dst, length=length, checksum=checksum)
+        return header, data[HEADER_LEN : min(len(data), length)]

@@ -1,0 +1,709 @@
+"""Client and server handshake endpoints.
+
+These state machines produce the *exact datagram trains* the paper's
+measurements hinge on:
+
+- a client Initial carries a TLS ClientHello and is padded to 1200
+  bytes;
+- the server answers an unverified address with two datagrams — the
+  first coalescing Initial(ServerHello) + Handshake(EncryptedExtensions,
+  start of Certificate), the second carrying the remaining Handshake
+  messages — and, in keep-alive configurations (the paper's NGINX
+  setup), two PING packets after a short delay: four response datagrams
+  per spoofed request, which is the 4x response ratio in Table 1;
+- the server never sends more than three times the bytes it received
+  from an unverified address (RFC 9000 §8.1, the anti-amplification
+  limit from Section 3 of the paper);
+- with RETRY enabled, the first Initial earns only a Retry packet, and
+  only token-bearing Initials get the full flight.
+
+The endpoints are used by the backscatter generator (victims under
+spoofed floods), the NGINX discrete-event simulation, and the active
+RETRY probe (Section 6 validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.rng import SeededRng
+from repro.quic import crypto, h3, tls
+from repro.quic.crypto import derive_handshake_secret, derive_initial_keys
+from repro.quic.frames import (
+    AckFrame,
+    CryptoFrame,
+    HandshakeDoneFrame,
+    NewTokenFrame,
+    PingFrame,
+    StreamFrame,
+    crypto_payload,
+)
+from repro.quic.header import (
+    HeaderParseError,
+    LongHeader,
+    PacketType,
+    RetryPacket,
+    ShortHeader,
+    VersionNegotiationPacket,
+)
+from repro.quic.packet import (
+    MIN_INITIAL_DATAGRAM,
+    PlainPacket,
+    build_datagram,
+    protect_short_packet,
+    split_datagram,
+    unprotect_initial,
+    unprotect_short_packet,
+)
+from repro.quic.resumption import ResumptionState, SessionCache, early_data_keys
+from repro.quic.retry import (
+    RetryTokenError,
+    RetryTokenMinter,
+    build_retry_packet,
+    verify_retry_packet,
+)
+from repro.quic.versions import QUIC_V1, QuicVersion, version_by_value
+
+DEFAULT_CID_LEN = 8
+KEEPALIVE_DELAY = 0.05
+#: RFC 9000 §8.1 anti-amplification factor for unverified addresses.
+AMPLIFICATION_LIMIT = 3
+
+
+@dataclass
+class Datagram:
+    """A scheduled outgoing datagram: send ``data`` after ``delay`` seconds."""
+
+    delay: float
+    data: bytes
+
+
+@dataclass
+class HandshakeResult:
+    """Outcome of a completed (or failed) handshake attempt."""
+
+    completed: bool
+    version: QuicVersion
+    scid: bytes = b""
+    dcid: bytes = b""
+    retries_seen: int = 0
+    round_trips: int = 0
+    used_0rtt: bool = False
+    failure: Optional[str] = None
+
+
+class ConnectionError_(Exception):
+    """Protocol violation detected by an endpoint."""
+
+
+class ClientConnection:
+    """A QUIC client performing the typical 1-RTT handshake of Figure 1."""
+
+    def __init__(
+        self,
+        rng: SeededRng,
+        version: QuicVersion = QUIC_V1,
+        server_name: str = "example.org",
+        supported_versions: tuple[QuicVersion, ...] = (QUIC_V1,),
+        cid_len: int = DEFAULT_CID_LEN,
+        resumption: Optional[ResumptionState] = None,
+        early_data: Optional[bytes] = None,
+        session_cache: Optional[SessionCache] = None,
+    ) -> None:
+        self.rng = rng
+        self.version = resumption.version if resumption else version
+        self.server_name = server_name
+        self.supported_versions = supported_versions
+        self.scid = rng.randbytes(cid_len)
+        self.odcid = rng.randbytes(cid_len)
+        self.dcid = self.odcid
+        self.token = resumption.address_token if resumption else b""
+        self.session_cache = session_cache
+        self._psk_identity = resumption.session_ticket if resumption else b""
+        self.early_data = early_data if (early_data and self._psk_identity) else None
+        self.used_0rtt = False
+        self.state = "idle"
+        self.retries_seen = 0
+        self.round_trips = 0
+        self.handshake_confirmed = False
+        self.address_token: bytes = b""
+        self.session_ticket: bytes = b""
+        self.server_scid: bytes = b""
+        self._initial_pn = 0
+        self._handshake_pn = 0
+        self._app_pn = 0
+        self.http_responses: list = []
+        self._refresh_keys()
+
+    def _refresh_keys(self) -> None:
+        self._client_initial, self._server_initial = derive_initial_keys(
+            self.version, self.dcid
+        )
+        self._client_hs = derive_handshake_secret(self.version, self.odcid, "client hs")
+        self._server_hs = derive_handshake_secret(self.version, self.odcid, "server hs")
+        self._server_1rtt = derive_handshake_secret(self.version, self.odcid, "server 1rtt")
+        self._client_1rtt = derive_handshake_secret(self.version, self.odcid, "client 1rtt")
+
+    # -- client -> server ---------------------------------------------------
+
+    def initial_datagram(self) -> bytes:
+        """First flight: Initial carrying the ClientHello, padded to 1200.
+
+        A resuming client adds its PSK identity (the session ticket) to
+        the ClientHello and may coalesce a 0-RTT packet with early data
+        — this is the Section 6 path that amortizes RETRY's extra
+        round-trip for returning clients.
+        """
+        hello = tls.ClientHello(
+            random=self.rng.randbytes(32),
+            server_name=self.server_name,
+            transport_parameters=self.rng.randbytes(64),
+            psk_identity=self._psk_identity or None,
+        )
+        header = LongHeader(
+            packet_type=PacketType.INITIAL,
+            version=self.version.value,
+            dcid=self.dcid,
+            scid=self.scid,
+            token=self.token,
+        )
+        packet = PlainPacket(
+            header=header,
+            packet_number=self._initial_pn,
+            frames=[CryptoFrame(0, hello.serialize())],
+        )
+        self._initial_pn += 1
+        parts = [(packet, self._client_initial)]
+        if self.early_data is not None:
+            zero_rtt = PlainPacket(
+                header=LongHeader(
+                    packet_type=PacketType.ZERO_RTT,
+                    version=self.version.value,
+                    dcid=self.dcid,
+                    scid=self.scid,
+                ),
+                packet_number=0,
+                frames=[StreamFrame(0, 0, self.early_data, fin=True)],
+            )
+            parts.append((zero_rtt, early_data_keys(self._psk_identity)))
+            self.used_0rtt = True
+        self.state = "awaiting-server-flight"
+        return build_datagram(parts, pad_to=MIN_INITIAL_DATAGRAM)
+
+    # -- server -> client ---------------------------------------------------
+
+    def handle_datagram(self, data: bytes) -> list:
+        """Process a server datagram; returns datagrams to send back."""
+        out: list[Datagram] = []
+        for view in split_datagram(data):
+            if isinstance(view, VersionNegotiationPacket):
+                out.extend(self._handle_version_negotiation(view))
+            elif isinstance(view, RetryPacket):
+                out.extend(self._handle_retry(view))
+            elif isinstance(view, LongHeader) and view.packet_type is PacketType.INITIAL:
+                self._handle_server_initial(data, view)
+            elif isinstance(view, LongHeader) and view.packet_type is PacketType.HANDSHAKE:
+                finished = self._handle_server_handshake(data, view)
+                if finished and self.state != "connected":
+                    out.append(Datagram(0.0, self._finish_datagram()))
+            elif isinstance(view, ShortHeader):
+                self._handle_one_rtt(data[view.start :])
+        return out
+
+    def _handle_one_rtt(self, packet: bytes) -> None:
+        """Post-handshake 1-RTT data: NEW_TOKEN, session tickets, done."""
+        try:
+            _pn, frames = unprotect_short_packet(
+                packet, len(self.scid), self._server_1rtt
+            )
+        except (crypto.DecryptError, HeaderParseError, ValueError):
+            return
+        for frame in frames:
+            if isinstance(frame, NewTokenFrame):
+                self.address_token = frame.token
+            elif isinstance(frame, HandshakeDoneFrame):
+                self.handshake_confirmed = True
+            elif isinstance(frame, CryptoFrame):
+                try:
+                    ticket = tls.NewSessionTicket.parse(frame.data)
+                except tls.TlsParseError:
+                    continue
+                self.session_ticket = ticket.ticket
+            elif isinstance(frame, StreamFrame):
+                try:
+                    self.http_responses.append(h3.H3Response.parse(frame.data))
+                except h3.H3ParseError:
+                    continue
+        if self.session_cache is not None and (self.address_token or self.session_ticket):
+            self.session_cache.store(self.session_state())
+
+    def request_datagram(self, path: str = "/") -> bytes:
+        """An HTTP/3 GET over 1-RTT (requires a completed handshake)."""
+        if self.state != "connected":
+            raise ConnectionError_("cannot send a request before the handshake")
+        request = h3.H3Request(authority=self.server_name, path=path)
+        packet = protect_short_packet(
+            dcid=self.dcid,
+            packet_number=self._app_pn,
+            frames=[StreamFrame(0, 0, request.serialize(), fin=True)],
+            keys=self._client_1rtt,
+        )
+        self._app_pn += 1
+        return packet
+
+    def session_state(self) -> ResumptionState:
+        """Resumption material for the next connection to this server."""
+        return ResumptionState(
+            server_name=self.server_name,
+            version=self.version,
+            address_token=self.address_token,
+            session_ticket=self.session_ticket,
+        )
+
+    def _handle_version_negotiation(self, view: VersionNegotiationPacket) -> list:
+        if self.state == "connected":
+            return []
+        self.round_trips += 1
+        for candidate in self.supported_versions:
+            if candidate.value in view.supported_versions:
+                self.version = candidate
+                self._refresh_keys()
+                return [Datagram(0.0, self.initial_datagram())]
+        self.state = "failed"
+        return []
+
+    def _handle_retry(self, view: RetryPacket) -> list:
+        if self.retries_seen:  # only one retry per attempt (RFC 9000 §17.2.5)
+            return []
+        if not verify_retry_packet(view, self.odcid):
+            self.state = "failed"
+            return []
+        self.retries_seen += 1
+        self.round_trips += 1
+        self.token = view.token
+        self.dcid = view.scid
+        self._refresh_keys()
+        return [Datagram(0.0, self.initial_datagram())]
+
+    def _handle_server_initial(self, data: bytes, view: LongHeader) -> None:
+        _pn, frames = unprotect_initial(data, view, self._server_initial)
+        hello_bytes = crypto_payload(frames)
+        if hello_bytes:
+            tls.ServerHello.parse(hello_bytes)  # raises if malformed
+        if self.server_scid and view.scid != self.server_scid:
+            # the server restarted our handshake (e.g. our flight was
+            # retransmitted after loss): discard the stale partial flight
+            self._hs_chunks = []
+        self.server_scid = view.scid
+        self.dcid = view.scid
+
+    def _handle_server_handshake(self, data: bytes, view: LongHeader) -> bool:
+        _pn, frames = unprotect_initial(data, view, self._server_hs)
+        if not hasattr(self, "_hs_chunks"):
+            self._hs_chunks: list[tuple[int, bytes]] = []
+        for frame in frames:
+            if isinstance(frame, CryptoFrame):
+                self._hs_chunks.append((frame.offset, frame.data))
+        stream = bytearray()
+        for offset, chunk in sorted(self._hs_chunks):
+            if offset > len(stream):
+                break  # gap: wait for retransmission
+            stream[offset : offset + len(chunk)] = chunk
+        # Finished (type 20) terminates the server flight.
+        return tls.FINISHED in _message_types(bytes(stream))
+
+    def _finish_datagram(self) -> bytes:
+        """Client Handshake packet completing the handshake (second RT)."""
+        header = LongHeader(
+            packet_type=PacketType.HANDSHAKE,
+            version=self.version.value,
+            dcid=self.dcid,
+            scid=self.scid,
+        )
+        packet = PlainPacket(
+            header=header,
+            packet_number=self._handshake_pn,
+            frames=[
+                AckFrame(0),
+                CryptoFrame(0, b"\x14\x00\x00\x20" + self.rng.randbytes(32)),
+            ],
+        )
+        self._handshake_pn += 1
+        self.state = "connected"
+        self.round_trips += 1
+        return build_datagram([(packet, self._client_hs)])
+
+    def result(self) -> HandshakeResult:
+        return HandshakeResult(
+            completed=self.state == "connected",
+            version=self.version,
+            scid=self.scid,
+            dcid=self.dcid,
+            retries_seen=self.retries_seen,
+            round_trips=self.round_trips,
+            used_0rtt=self.used_0rtt,
+            failure=None if self.state != "failed" else "handshake failed",
+        )
+
+
+class ServerConnection:
+    """Server side of the handshake, incl. RETRY and version negotiation.
+
+    One instance serves one listening endpoint; per-connection state is
+    kept in :attr:`connections` keyed by the client's original DCID —
+    this is exactly the state a flood inflates.
+    """
+
+    def __init__(
+        self,
+        rng: SeededRng,
+        supported_versions: tuple[QuicVersion, ...] = (QUIC_V1,),
+        retry_enabled: bool = False,
+        cert_chain_len: int = tls.DEFAULT_CERT_CHAIN_LEN,
+        keepalive_pings: int = 0,
+        cid_len: int = DEFAULT_CID_LEN,
+        issue_session_state: bool = True,
+        pages: Optional[dict] = None,
+    ) -> None:
+        self.rng = rng
+        self.supported_versions = supported_versions
+        self.retry_enabled = retry_enabled
+        self.cert_chain_len = cert_chain_len
+        self.keepalive_pings = keepalive_pings
+        self.cid_len = cid_len
+        self.issue_session_state = issue_session_state
+        self.token_minter = RetryTokenMinter(secret=rng.randbytes(32))
+        #: long-lived address-validation tokens issued via NEW_TOKEN
+        #: (RFC 9000 §8.1.3): bound to the client IP, not a connection.
+        self.address_token_minter = RetryTokenMinter(
+            secret=rng.randbytes(32), lifetime=86400.0
+        )
+        #: session tickets for PSK resumption / 0-RTT.
+        self.ticket_minter = RetryTokenMinter(
+            secret=rng.randbytes(32), lifetime=86400.0
+        )
+        self.connections: dict[bytes, dict] = {}
+        self._early_keys: dict[bytes, tuple] = {}
+        self.pages = pages if pages is not None else {"/": b"<html>hello h3</html>"}
+        self.stats = {
+            "initials": 0,
+            "retries_sent": 0,
+            "vn_sent": 0,
+            "handshakes": 0,
+            "tokens_issued": 0,
+            "zero_rtt_accepted": 0,
+            "requests_served": 0,
+        }
+
+    def handle_datagram(
+        self, data: bytes, client_ip: int, client_port: int, now: float = 0.0
+    ) -> list:
+        """Process one client datagram, returning response datagrams."""
+        out: list[Datagram] = []
+        for view in split_datagram(data):
+            if isinstance(view, ShortHeader):
+                out.extend(self._handle_app_data(data[view.start :]))
+                continue
+            if not isinstance(view, LongHeader):
+                continue
+            if view.packet_type is PacketType.INITIAL:
+                out.extend(
+                    self._handle_initial(data, view, client_ip, client_port, now)
+                )
+            elif view.packet_type is PacketType.ZERO_RTT:
+                self._handle_zero_rtt(data, view)
+            elif view.packet_type is PacketType.HANDSHAKE:
+                out.extend(
+                    self._handle_client_handshake(view, client_ip, client_port, now)
+                )
+        return out
+
+    # -- initial processing --------------------------------------------------
+
+    def _handle_initial(
+        self,
+        data: bytes,
+        view: LongHeader,
+        client_ip: int,
+        client_port: int,
+        now: float,
+    ) -> list:
+        self.stats["initials"] += 1
+        version = version_by_value(view.version)
+        if version is None or version not in self.supported_versions:
+            self.stats["vn_sent"] += 1
+            vn = VersionNegotiationPacket(
+                dcid=view.scid,
+                scid=view.dcid,
+                supported_versions=tuple(v.value for v in self.supported_versions),
+            )
+            return [Datagram(0.0, vn.serialize())]
+
+        odcid = view.dcid
+        if self.retry_enabled:
+            if not view.token:
+                return [self._send_retry(view, client_ip, client_port, now)]
+            try:
+                odcid = self.token_minter.validate(
+                    view.token, client_ip, client_port, now
+                )
+            except RetryTokenError:
+                try:
+                    # NEW_TOKEN address tokens are bound to the IP only
+                    # and carry no original DCID.
+                    self.address_token_minter.validate(view.token, client_ip, 0, now)
+                    odcid = view.dcid
+                except RetryTokenError:
+                    return []  # invalid token: drop silently
+
+        try:
+            _client_keys, _ = derive_initial_keys(version, view.dcid)
+            _pn, frames = unprotect_initial(data, view, _client_keys)
+        except (crypto.DecryptError, ValueError):
+            return []
+        hello_bytes = crypto_payload(frames)
+        if not hello_bytes:
+            return []
+        try:
+            hello = tls.ClientHello.parse(hello_bytes)
+        except tls.TlsParseError:
+            return []
+        if hello.psk_identity:
+            try:
+                self.ticket_minter.validate(hello.psk_identity, 0, 0, now)
+            except RetryTokenError:
+                pass  # stale ticket: fall back to a full handshake
+            else:
+                self._early_keys[bytes(view.dcid)] = (
+                    early_data_keys(hello.psk_identity),
+                    bytes(odcid),
+                )
+        return self._full_flight(view, version, odcid, len(data), hello)
+
+    def _handle_zero_rtt(self, data: bytes, view: LongHeader) -> None:
+        """Decrypt accepted 0-RTT early data (keys set while handling
+        the Initial coalesced in front of it)."""
+        entry = self._early_keys.get(bytes(view.dcid))
+        if entry is None:
+            return
+        keys, odcid = entry
+        try:
+            _pn, frames = unprotect_initial(data, view, keys)
+        except (crypto.DecryptError, ValueError):
+            return
+        early = b"".join(
+            f.data for f in frames if isinstance(f, StreamFrame)
+        )
+        state = self.connections.get(odcid)
+        if state is not None:
+            state["early_data"] = early
+        self.stats["zero_rtt_accepted"] += 1
+
+    def _send_retry(
+        self, view: LongHeader, client_ip: int, client_port: int, now: float
+    ) -> Datagram:
+        self.stats["retries_sent"] += 1
+        new_scid = self.rng.randbytes(self.cid_len)
+        token = self.token_minter.mint(client_ip, client_port, view.dcid, now)
+        packet = build_retry_packet(
+            version=view.version,
+            dcid=view.scid,
+            scid=new_scid,
+            odcid=view.dcid,
+            token=token,
+        )
+        return Datagram(0.0, packet)
+
+    def _full_flight(
+        self,
+        view: LongHeader,
+        version: QuicVersion,
+        odcid: bytes,
+        received_bytes: int,
+        hello: tls.ClientHello,
+    ) -> list:
+        """Build the server's first flight (the backscatter signature).
+
+        Datagram 1: Initial(ACK, ServerHello) coalesced with a Handshake
+        packet carrying the start of the encrypted flight.  Datagram 2:
+        the remaining Handshake messages.  Then ``keepalive_pings`` PING
+        datagrams after a short delay.
+        """
+        self.stats["handshakes"] += 1
+        scid = self.rng.randbytes(self.cid_len)
+        self.connections[bytes(odcid)] = {
+            "scid": scid,
+            "version": version,
+            "client_scid": view.scid,
+            "established": False,
+        }
+        _client_init, server_init = derive_initial_keys(version, view.dcid)
+        server_hs = derive_handshake_secret(version, odcid, "server hs")
+
+        server_hello = tls.ServerHello(
+            random=self.rng.randbytes(32), session_id=hello.session_id
+        )
+        flight = tls.build_server_flight(self.rng, self.cert_chain_len)
+        hs_stream = flight.handshake_payload
+        # First handshake packet carries as much as fits next to the
+        # Initial in a full-size datagram; remainder goes in datagram 2.
+        first_chunk_len = min(len(hs_stream), 900)
+
+        initial_packet = PlainPacket(
+            header=LongHeader(
+                packet_type=PacketType.INITIAL,
+                version=version.value,
+                dcid=b"",  # client did not require a DCID: telescope sees len 0
+                scid=scid,
+            ),
+            packet_number=0,
+            frames=[AckFrame(0), CryptoFrame(0, server_hello.serialize())],
+        )
+        hs_packet_1 = PlainPacket(
+            header=LongHeader(
+                packet_type=PacketType.HANDSHAKE,
+                version=version.value,
+                dcid=b"",
+                scid=scid,
+            ),
+            packet_number=0,
+            frames=[CryptoFrame(0, hs_stream[:first_chunk_len])],
+        )
+        hs_packet_2 = PlainPacket(
+            header=LongHeader(
+                packet_type=PacketType.HANDSHAKE,
+                version=version.value,
+                dcid=b"",
+                scid=scid,
+            ),
+            packet_number=1,
+            frames=[CryptoFrame(first_chunk_len, hs_stream[first_chunk_len:])],
+        )
+        datagram_1 = build_datagram(
+            [(initial_packet, server_init), (hs_packet_1, server_hs)]
+        )
+        datagram_2 = build_datagram([(hs_packet_2, server_hs)])
+        out = [Datagram(0.0, datagram_1), Datagram(0.0, datagram_2)]
+
+        ping_pn = 2
+        for i in range(self.keepalive_pings):
+            ping = PlainPacket(
+                header=LongHeader(
+                    packet_type=PacketType.HANDSHAKE,
+                    version=version.value,
+                    dcid=b"",
+                    scid=scid,
+                ),
+                packet_number=ping_pn + i,
+                frames=[PingFrame()],
+            )
+            out.append(
+                Datagram(KEEPALIVE_DELAY * (i + 1), build_datagram([(ping, server_hs)]))
+            )
+
+        # Anti-amplification: trim the flight to 3x received bytes.
+        budget = AMPLIFICATION_LIMIT * received_bytes
+        trimmed: list[Datagram] = []
+        used = 0
+        for datagram in out:
+            if used + len(datagram.data) > budget:
+                break
+            used += len(datagram.data)
+            trimmed.append(datagram)
+        return trimmed
+
+    def _handle_app_data(self, packet: bytes) -> list:
+        """1-RTT client data: HTTP/3 requests on established connections."""
+        if len(packet) < 1 + self.cid_len:
+            return []
+        wire_dcid = packet[1 : 1 + self.cid_len]
+        for odcid, state in self.connections.items():
+            if state["scid"] != wire_dcid or not state["established"]:
+                continue
+            client_keys = derive_handshake_secret(
+                state["version"], odcid, "client 1rtt"
+            )
+            try:
+                _pn, frames = unprotect_short_packet(
+                    packet, self.cid_len, client_keys
+                )
+            except (crypto.DecryptError, HeaderParseError, ValueError):
+                return []
+            out = []
+            for frame in frames:
+                if not isinstance(frame, StreamFrame):
+                    continue
+                try:
+                    request = h3.H3Request.parse(frame.data)
+                except h3.H3ParseError:
+                    continue
+                body = self.pages.get(request.path)
+                response = (
+                    h3.H3Response(status=200, body=body)
+                    if body is not None
+                    else h3.H3Response(status=404)
+                )
+                self.stats["requests_served"] += 1
+                server_keys = derive_handshake_secret(
+                    state["version"], odcid, "server 1rtt"
+                )
+                reply = protect_short_packet(
+                    dcid=state["client_scid"],
+                    packet_number=1 + self.stats["requests_served"],
+                    frames=[
+                        StreamFrame(0, 0, response.serialize(), fin=True)
+                    ],
+                    keys=server_keys,
+                )
+                out.append(Datagram(0.0, reply))
+            return out
+        return []
+
+    def _handle_client_handshake(
+        self, view: LongHeader, client_ip: int, client_port: int, now: float
+    ) -> list:
+        """Complete the handshake; issue NEW_TOKEN + session ticket.
+
+        The post-handshake datagram is a 1-RTT short-header packet —
+        the server's first use of application keys — carrying
+        HANDSHAKE_DONE, a NEW_TOKEN address token and a TLS
+        NewSessionTicket in a CRYPTO frame.
+        """
+        for odcid, state in self.connections.items():
+            if state["scid"] == view.dcid or state["client_scid"] == view.scid:
+                already = state["established"]
+                state["established"] = True
+                if already or not self.issue_session_state:
+                    return []
+                token = self.address_token_minter.mint(client_ip, 0, b"", now)
+                ticket = self.ticket_minter.mint(0, 0, b"", now)
+                self.stats["tokens_issued"] += 1
+                nst = tls.NewSessionTicket(ticket=ticket)
+                keys = derive_handshake_secret(
+                    state["version"], odcid, "server 1rtt"
+                )
+                packet = protect_short_packet(
+                    dcid=state["client_scid"],
+                    packet_number=0,
+                    frames=[
+                        HandshakeDoneFrame(),
+                        NewTokenFrame(token),
+                        CryptoFrame(0, nst.serialize()),
+                    ],
+                    keys=keys,
+                )
+                return [Datagram(0.0, packet)]
+        return []
+
+
+def _message_types(stream: bytes) -> list:
+    """Walk TLS handshake messages in a CRYPTO stream, returning types."""
+    types = []
+    offset = 0
+    while offset + 4 <= len(stream):
+        msg_type = stream[offset]
+        length = int.from_bytes(stream[offset + 1 : offset + 4], "big")
+        types.append(msg_type)
+        offset += 4 + length
+    return types

@@ -1,0 +1,227 @@
+"""QUIC packet-protection cryptography.
+
+Two layers live here:
+
+1. **HKDF (real).**  RFC 5869 extract/expand and the TLS 1.3
+   ``HKDF-Expand-Label`` construction from RFC 8446 §7.1 are implemented
+   faithfully on stdlib ``hmac``/``hashlib``.  Initial secrets are
+   derived exactly as RFC 9001 §5.2 prescribes: from the per-version
+   initial salt and the client's Destination Connection ID, split into
+   ``client in`` / ``server in`` secrets and then key/IV/HP material.
+
+2. **AEAD (documented substitution).**  RFC 9001 uses AES-128-GCM for
+   Initial packets.  No AES implementation is available offline, so we
+   substitute a deterministic stream cipher + MAC with *identical
+   interface and ciphertext expansion*: keystream blocks are
+   ``SHA-256(key || nonce || counter)`` and the 16-byte tag is
+   ``HMAC-SHA-256(key, nonce || aad || ciphertext)[:16]``.  Header
+   protection similarly derives its 5-byte mask from
+   ``SHA-256(hp_key || sample)`` instead of AES-ECB.  Every property the
+   telescope analysis relies on is preserved: payloads are
+   indistinguishable from random to a passive observer without the keys,
+   ciphertext is exactly 16 bytes longer than plaintext, tampering is
+   detected, and anyone who knows the version salt and the wire DCID can
+   decrypt a client Initial — which is precisely how Wireshark dissects
+   Initials.  See DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.quic.versions import QuicVersion
+
+HASH_LEN = 32  # SHA-256
+AEAD_TAG_LEN = 16
+AEAD_KEY_LEN = 16
+AEAD_IV_LEN = 12
+HP_SAMPLE_LEN = 16
+
+
+class DecryptError(ValueError):
+    """Raised when AEAD authentication fails."""
+
+
+# --------------------------------------------------------------------------
+# HKDF (RFC 5869) and HKDF-Expand-Label (RFC 8446)
+# --------------------------------------------------------------------------
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract with SHA-256."""
+    return hmac.new(salt or b"\x00" * HASH_LEN, ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand with SHA-256."""
+    if length > 255 * HASH_LEN:
+        raise ValueError("HKDF-Expand length too large")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac.new(
+            prk, previous + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf_expand_label(secret: bytes, label: str, context: bytes, length: int) -> bytes:
+    """TLS 1.3 HKDF-Expand-Label ("tls13 " prefix per RFC 8446 §7.1)."""
+    full_label = b"tls13 " + label.encode("ascii")
+    info = (
+        length.to_bytes(2, "big")
+        + bytes([len(full_label)])
+        + full_label
+        + bytes([len(context)])
+        + context
+    )
+    return hkdf_expand(secret, info, length)
+
+
+# --------------------------------------------------------------------------
+# Initial secrets (RFC 9001 §5.2)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PacketKeys:
+    """Key material protecting one direction of one encryption level."""
+
+    key: bytes
+    iv: bytes
+    hp: bytes
+
+
+@functools.lru_cache(maxsize=8192)
+def derive_initial_keys(version: QuicVersion, client_dcid: bytes) -> tuple[PacketKeys, PacketKeys]:
+    """Derive ``(client_keys, server_keys)`` for the Initial level.
+
+    Anyone observing a client Initial can recompute these — the inputs
+    are the (public) version salt and the DCID on the wire.  This is
+    what makes client Initials dissectable and is also why the Initial
+    level offers no confidentiality against on-path observers.
+    """
+    initial_secret = hkdf_extract(version.initial_salt, client_dcid)
+    client_secret = hkdf_expand_label(initial_secret, "client in", b"", HASH_LEN)
+    server_secret = hkdf_expand_label(initial_secret, "server in", b"", HASH_LEN)
+    return keys_from_secret(client_secret), keys_from_secret(server_secret)
+
+
+def keys_from_secret(secret: bytes) -> PacketKeys:
+    """Expand a traffic secret into AEAD key, IV and header-protection key."""
+    return PacketKeys(
+        key=hkdf_expand_label(secret, "quic key", b"", AEAD_KEY_LEN),
+        iv=hkdf_expand_label(secret, "quic iv", b"", AEAD_IV_LEN),
+        hp=hkdf_expand_label(secret, "quic hp", b"", AEAD_KEY_LEN),
+    )
+
+
+@functools.lru_cache(maxsize=8192)
+def derive_handshake_secret(version: QuicVersion, client_dcid: bytes, label: str) -> PacketKeys:
+    """Handshake-level keys for the simulation.
+
+    Real QUIC derives these from the TLS key schedule after the key
+    exchange; a telescope can never compute them.  The simulation only
+    needs *some* deterministic per-connection key, so we hash the
+    connection inputs.  The analysis code never calls this — it is used
+    by endpoints to produce realistically opaque Handshake payloads.
+    """
+    seed = hkdf_extract(version.initial_salt + b"hs", client_dcid)
+    return keys_from_secret(hkdf_expand_label(seed, label, b"", HASH_LEN))
+
+
+# --------------------------------------------------------------------------
+# AEAD substitution (see module docstring)
+# --------------------------------------------------------------------------
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    out = bytearray()
+    prefix = key + nonce
+    counter = 0
+    while len(out) < length:
+        out += hashlib.sha256(prefix + counter.to_bytes(4, "big")).digest()
+        counter += 1
+    return bytes(out[:length])
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Constant-width XOR via int arithmetic (fast path for payloads)."""
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(
+        len(a), "big"
+    )
+
+
+def _nonce(iv: bytes, packet_number: int) -> bytes:
+    pn = packet_number.to_bytes(AEAD_IV_LEN, "big")
+    return bytes(a ^ b for a, b in zip(iv, pn))
+
+
+def aead_seal(keys: PacketKeys, packet_number: int, aad: bytes, plaintext: bytes) -> bytes:
+    """Encrypt and authenticate; output is ``len(plaintext) + 16`` bytes."""
+    nonce = _nonce(keys.iv, packet_number)
+    stream = _keystream(keys.key, nonce, len(plaintext))
+    ciphertext = _xor_bytes(plaintext, stream)
+    tag = hmac.new(keys.key, nonce + aad + ciphertext, hashlib.sha256).digest()[
+        :AEAD_TAG_LEN
+    ]
+    return ciphertext + tag
+
+
+def aead_open(keys: PacketKeys, packet_number: int, aad: bytes, sealed: bytes) -> bytes:
+    """Authenticate and decrypt; raises :class:`DecryptError` on mismatch."""
+    if len(sealed) < AEAD_TAG_LEN:
+        raise DecryptError("ciphertext shorter than tag")
+    ciphertext, tag = sealed[:-AEAD_TAG_LEN], sealed[-AEAD_TAG_LEN:]
+    nonce = _nonce(keys.iv, packet_number)
+    expected = hmac.new(keys.key, nonce + aad + ciphertext, hashlib.sha256).digest()[
+        :AEAD_TAG_LEN
+    ]
+    if not hmac.compare_digest(tag, expected):
+        raise DecryptError("AEAD tag mismatch")
+    stream = _keystream(keys.key, nonce, len(ciphertext))
+    return _xor_bytes(ciphertext, stream)
+
+
+def header_protection_mask(hp_key: bytes, sample: bytes) -> bytes:
+    """5-byte header-protection mask from a 16-byte ciphertext sample."""
+    if len(sample) < HP_SAMPLE_LEN:
+        raise ValueError(
+            f"header protection sample too short ({len(sample)} bytes)"
+        )
+    return hashlib.sha256(hp_key + sample[:HP_SAMPLE_LEN]).digest()[:5]
+
+
+# --------------------------------------------------------------------------
+# Packet number encode/decode (RFC 9000 §17.1, Appendix A)
+# --------------------------------------------------------------------------
+
+
+def encode_packet_number(full_pn: int, largest_acked: int = -1) -> bytes:
+    """Encode a packet number in the minimal number of bytes (1-4)."""
+    num_unacked = full_pn - largest_acked
+    min_bits = max(num_unacked.bit_length() + 1, 1)
+    length = max(1, (min_bits + 7) // 8)
+    if length > 4:
+        raise ValueError(f"packet number {full_pn} needs more than 4 bytes")
+    return (full_pn & ((1 << (8 * length)) - 1)).to_bytes(length, "big")
+
+
+def decode_packet_number(truncated: int, pn_nbits: int, largest_pn: int = -1) -> int:
+    """Recover the full packet number per RFC 9000 Appendix A.3."""
+    expected = largest_pn + 1
+    pn_win = 1 << pn_nbits
+    pn_hwin = pn_win // 2
+    pn_mask = pn_win - 1
+    candidate = (expected & ~pn_mask) | truncated
+    if candidate <= expected - pn_hwin and candidate < (1 << 62) - pn_win:
+        return candidate + pn_win
+    if candidate > expected + pn_hwin and candidate >= pn_win:
+        return candidate - pn_win
+    return candidate

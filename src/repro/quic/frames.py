@@ -1,0 +1,294 @@
+"""QUIC frames (RFC 9000 §19).
+
+Frames are the payload units inside protected packets.  The subset
+implemented covers everything the traffic models and the dissector
+encounter: PADDING (Initial size inflation — the attack-padding vector
+from Section 3 of the paper), PING (keep-alives, two per handshake in
+the NGINX experiment), ACK, CRYPTO (TLS transport), NEW_TOKEN /
+NEW_CONNECTION_ID (address-validation and CID machinery),
+CONNECTION_CLOSE, HANDSHAKE_DONE and STREAM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.util.varint import VarintError, decode_varint, encode_varint
+
+
+class FrameType(enum.IntEnum):
+    PADDING = 0x00
+    PING = 0x01
+    ACK = 0x02
+    ACK_ECN = 0x03
+    CRYPTO = 0x06
+    NEW_TOKEN = 0x07
+    STREAM_BASE = 0x08  # 0x08-0x0f with OFF/LEN/FIN bits
+    NEW_CONNECTION_ID = 0x18
+    CONNECTION_CLOSE = 0x1C
+    CONNECTION_CLOSE_APP = 0x1D
+    HANDSHAKE_DONE = 0x1E
+
+
+class FrameParseError(ValueError):
+    """Raised when a frame sequence cannot be parsed."""
+
+
+@dataclass
+class PaddingFrame:
+    """A *run* of PADDING frames (each is a single zero byte on the wire)."""
+
+    length: int = 1
+
+    def serialize(self) -> bytes:
+        return b"\x00" * self.length
+
+
+@dataclass
+class PingFrame:
+    def serialize(self) -> bytes:
+        return bytes([FrameType.PING])
+
+
+@dataclass
+class AckFrame:
+    """ACK with a single range (sufficient for handshake traffic)."""
+
+    largest_acked: int
+    ack_delay: int = 0
+    first_range: int = 0
+
+    def serialize(self) -> bytes:
+        return (
+            bytes([FrameType.ACK])
+            + encode_varint(self.largest_acked)
+            + encode_varint(self.ack_delay)
+            + encode_varint(0)  # additional ranges
+            + encode_varint(self.first_range)
+        )
+
+
+@dataclass
+class CryptoFrame:
+    """Carries TLS handshake bytes at a stream offset."""
+
+    offset: int
+    data: bytes
+
+    def serialize(self) -> bytes:
+        return (
+            bytes([FrameType.CRYPTO])
+            + encode_varint(self.offset)
+            + encode_varint(len(self.data))
+            + self.data
+        )
+
+
+@dataclass
+class NewTokenFrame:
+    token: bytes
+
+    def serialize(self) -> bytes:
+        return bytes([FrameType.NEW_TOKEN]) + encode_varint(len(self.token)) + self.token
+
+
+@dataclass
+class StreamFrame:
+    """STREAM with explicit offset and length bits set."""
+
+    stream_id: int
+    offset: int
+    data: bytes
+    fin: bool = False
+
+    def serialize(self) -> bytes:
+        first = FrameType.STREAM_BASE | 0x04 | 0x02 | (0x01 if self.fin else 0)
+        return (
+            bytes([first])
+            + encode_varint(self.stream_id)
+            + encode_varint(self.offset)
+            + encode_varint(len(self.data))
+            + self.data
+        )
+
+
+@dataclass
+class NewConnectionIdFrame:
+    sequence: int
+    retire_prior_to: int
+    connection_id: bytes
+    reset_token: bytes = field(default=b"\x00" * 16)
+
+    def serialize(self) -> bytes:
+        return (
+            bytes([FrameType.NEW_CONNECTION_ID])
+            + encode_varint(self.sequence)
+            + encode_varint(self.retire_prior_to)
+            + bytes([len(self.connection_id)])
+            + self.connection_id
+            + self.reset_token
+        )
+
+
+@dataclass
+class ConnectionCloseFrame:
+    error_code: int
+    frame_type: int = 0
+    reason: bytes = b""
+    application: bool = False
+
+    def serialize(self) -> bytes:
+        first = FrameType.CONNECTION_CLOSE_APP if self.application else FrameType.CONNECTION_CLOSE
+        out = bytes([first]) + encode_varint(self.error_code)
+        if not self.application:
+            out += encode_varint(self.frame_type)
+        return out + encode_varint(len(self.reason)) + self.reason
+
+
+@dataclass
+class HandshakeDoneFrame:
+    def serialize(self) -> bytes:
+        return bytes([FrameType.HANDSHAKE_DONE])
+
+
+Frame = Union[
+    PaddingFrame,
+    PingFrame,
+    AckFrame,
+    CryptoFrame,
+    NewTokenFrame,
+    StreamFrame,
+    NewConnectionIdFrame,
+    ConnectionCloseFrame,
+    HandshakeDoneFrame,
+]
+
+
+def serialize_frames(frames: list) -> bytes:
+    """Concatenate serialized frames into a packet payload."""
+    return b"".join(frame.serialize() for frame in frames)
+
+
+def parse_frames(payload: bytes) -> list:
+    """Parse a packet payload into frames.
+
+    PADDING runs are collapsed into one :class:`PaddingFrame` with a
+    length, matching how dissectors report them.
+    """
+    frames: list = []
+    offset = 0
+    try:
+        while offset < len(payload):
+            first = payload[offset]
+            if first == FrameType.PADDING:
+                rest = payload[offset:]
+                run = len(rest) - len(rest.lstrip(b"\x00"))
+                offset += run
+                frames.append(PaddingFrame(run))
+            elif first == FrameType.PING:
+                frames.append(PingFrame())
+                offset += 1
+            elif first in (FrameType.ACK, FrameType.ACK_ECN):
+                offset += 1
+                largest, offset = decode_varint(payload, offset)
+                delay, offset = decode_varint(payload, offset)
+                range_count, offset = decode_varint(payload, offset)
+                first_range, offset = decode_varint(payload, offset)
+                for _ in range(range_count):
+                    _gap, offset = decode_varint(payload, offset)
+                    _length, offset = decode_varint(payload, offset)
+                if first == FrameType.ACK_ECN:
+                    for _ in range(3):
+                        _count, offset = decode_varint(payload, offset)
+                frames.append(AckFrame(largest, delay, first_range))
+            elif first == FrameType.CRYPTO:
+                offset += 1
+                data_offset, offset = decode_varint(payload, offset)
+                length, offset = decode_varint(payload, offset)
+                end = offset + length
+                if end > len(payload):
+                    raise FrameParseError("CRYPTO frame truncated")
+                frames.append(CryptoFrame(data_offset, payload[offset:end]))
+                offset = end
+            elif first == FrameType.NEW_TOKEN:
+                offset += 1
+                length, offset = decode_varint(payload, offset)
+                end = offset + length
+                if end > len(payload):
+                    raise FrameParseError("NEW_TOKEN frame truncated")
+                frames.append(NewTokenFrame(payload[offset:end]))
+                offset = end
+            elif FrameType.STREAM_BASE <= first <= 0x0F:
+                fin = bool(first & 0x01)
+                has_len = bool(first & 0x02)
+                has_off = bool(first & 0x04)
+                offset += 1
+                stream_id, offset = decode_varint(payload, offset)
+                data_offset = 0
+                if has_off:
+                    data_offset, offset = decode_varint(payload, offset)
+                if has_len:
+                    length, offset = decode_varint(payload, offset)
+                    end = offset + length
+                else:
+                    end = len(payload)
+                if end > len(payload):
+                    raise FrameParseError("STREAM frame truncated")
+                frames.append(StreamFrame(stream_id, data_offset, payload[offset:end], fin))
+                offset = end
+            elif first == FrameType.NEW_CONNECTION_ID:
+                offset += 1
+                sequence, offset = decode_varint(payload, offset)
+                retire, offset = decode_varint(payload, offset)
+                cid_len = payload[offset]
+                offset += 1
+                if cid_len < 1 or cid_len > 20:
+                    raise FrameParseError(f"invalid NEW_CONNECTION_ID length {cid_len}")
+                cid = payload[offset : offset + cid_len]
+                offset += cid_len
+                token = payload[offset : offset + 16]
+                if len(token) < 16:
+                    raise FrameParseError("NEW_CONNECTION_ID token truncated")
+                offset += 16
+                frames.append(NewConnectionIdFrame(sequence, retire, cid, token))
+            elif first in (FrameType.CONNECTION_CLOSE, FrameType.CONNECTION_CLOSE_APP):
+                application = first == FrameType.CONNECTION_CLOSE_APP
+                offset += 1
+                error_code, offset = decode_varint(payload, offset)
+                frame_type = 0
+                if not application:
+                    frame_type, offset = decode_varint(payload, offset)
+                reason_len, offset = decode_varint(payload, offset)
+                end = offset + reason_len
+                if end > len(payload):
+                    raise FrameParseError("CONNECTION_CLOSE reason truncated")
+                frames.append(
+                    ConnectionCloseFrame(error_code, frame_type, payload[offset:end], application)
+                )
+                offset = end
+            elif first == FrameType.HANDSHAKE_DONE:
+                frames.append(HandshakeDoneFrame())
+                offset += 1
+            else:
+                raise FrameParseError(f"unknown frame type 0x{first:02x}")
+    except VarintError as exc:
+        raise FrameParseError(f"varint error in frame: {exc}") from exc
+    except IndexError as exc:
+        raise FrameParseError("frame truncated") from exc
+    return frames
+
+
+def crypto_payload(frames: list) -> bytes:
+    """Reassemble the CRYPTO stream from a parsed frame list."""
+    chunks = sorted(
+        ((f.offset, f.data) for f in frames if isinstance(f, CryptoFrame)),
+        key=lambda pair: pair[0],
+    )
+    stream = bytearray()
+    for chunk_offset, data in chunks:
+        if chunk_offset <= len(stream):
+            stream[chunk_offset : chunk_offset + len(data)] = data
+        # gaps mean we saw only part of the stream; keep what we have
+    return bytes(stream)

@@ -1,0 +1,32 @@
+"""Telescope substrate: the /9 darknet and the traffic that reaches it.
+
+Internet background radiation at a telescope has four constituents,
+each with its own generator:
+
+- :mod:`repro.telescope.scanners` — research sweeps (TUM/RWTH-style,
+  98.5% of QUIC IBR) and malicious bot scans from eyeball networks;
+- :mod:`repro.telescope.attacks` — the flood planner: QUIC floods
+  against content providers plus TCP/ICMP floods, orchestrated into
+  concurrent / sequential / isolated multi-vector patterns;
+- :mod:`repro.telescope.backscatter` — victim response models that turn
+  planned floods into the packets a telescope actually sees;
+- :mod:`repro.telescope.noise` — low-volume misconfiguration traffic.
+
+:mod:`repro.telescope.workload` composes them into a full scenario and
+:mod:`repro.telescope.telescope` merges the sorted per-source streams
+into one capture, exactly like a darknet's packet tap.
+"""
+
+from repro.telescope.diurnal import DiurnalModel
+from repro.telescope.telescope import Telescope
+from repro.telescope.workload import Scenario, ScenarioConfig, ScenarioTruth
+from repro.telescope import presets
+
+__all__ = [
+    "DiurnalModel",
+    "Telescope",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioTruth",
+    "presets",
+]

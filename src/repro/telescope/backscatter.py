@@ -1,0 +1,252 @@
+"""Victim response models: what floods look like from a telescope.
+
+A randomly spoofed flood against a victim makes the victim answer
+addresses it never talked to; the slice of those answers landing in the
+telescope prefix is *backscatter*.  This module turns "victim V is
+flooded at rate R" into the concrete packets:
+
+- :class:`QuicVictimResponder` emits the QUIC response train per spoofed
+  Initial — Initial(ServerHello)+Handshake coalesced, then a Handshake
+  datagram, optionally keep-alive PINGs and timeout retransmissions —
+  with zero-length DCIDs and fresh or cached SCIDs depending on the
+  provider's connection-ID policy (the Figure 9 Google/Facebook
+  difference).
+- :class:`TcpVictimResponder` emits SYN-ACKs (and RSTs after the
+  victim's accept queue gives up) for spoofed SYN floods.
+- :class:`IcmpVictimResponder` emits echo replies for spoofed echo
+  floods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.icmp import IcmpHeader, IcmpType
+from repro.net.ipv4 import IPProto, IPv4Header
+from repro.net.packet import CapturedPacket
+from repro.net.tcp import TcpFlags, TcpHeader
+from repro.net.udp import UdpHeader
+from repro.util.rng import SeededRng
+from repro.quic import tls
+from repro.quic.crypto import derive_handshake_secret, derive_initial_keys
+from repro.quic.frames import AckFrame, CryptoFrame, PingFrame
+from repro.quic.header import LongHeader, PacketType
+from repro.quic.packet import PlainPacket, build_datagram
+from repro.quic.versions import KNOWN_VERSIONS, QUIC_V1, QuicVersion
+
+_VERSIONS_BY_NAME = {v.name: v for v in KNOWN_VERSIONS}
+
+
+def version_named(name: str) -> QuicVersion:
+    try:
+        return _VERSIONS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown QUIC version name {name!r}") from None
+
+
+@dataclass
+class ResponderPolicy:
+    """Provider-specific response behaviour."""
+
+    version: QuicVersion = QUIC_V1
+    keepalive_pings: int = 0
+    #: "request" mints a new SCID per Initial (Google-like);
+    #: "source" caches the SCID per spoofed client address
+    #: (mvfst-like connection reuse).
+    scid_policy: str = "request"
+    #: probability that the unanswered flight is retransmitted once.
+    retransmit_probability: float = 0.0
+    #: probability that a request carries a version the victim dropped,
+    #: eliciting a Version Negotiation packet instead of a flight.
+    vn_probability: float = 0.05
+    cert_chain_len: int = tls.DEFAULT_CERT_CHAIN_LEN
+    #: attackers replay a bounded set of handshake templates, so the
+    #: DCIDs the victim keys its Initial responses on repeat.
+    attacker_dcid_pool: int = 24
+
+
+class QuicVictimResponder:
+    """Builds the backscatter train one victim emits per spoofed Initial."""
+
+    def __init__(self, victim_ip: int, rng: SeededRng, policy: ResponderPolicy) -> None:
+        self.victim_ip = victim_ip
+        self.rng = rng.child(f"responder:{victim_ip}")
+        self.policy = policy
+        # The TLS flight is per-server (same certificate chain for every
+        # connection) — cache it once.
+        self._flight = tls.build_server_flight(
+            self.rng.child("flight"), policy.cert_chain_len
+        )
+        self._hs_stream = self._flight.handshake_payload
+        self._scid_cache: dict[int, bytes] = {}
+        self._dcid_pool = [
+            self.rng.randbytes(8) for _ in range(max(1, policy.attacker_dcid_pool))
+        ]
+
+    def _scid_for(self, spoofed_ip: int) -> bytes:
+        if self.policy.scid_policy == "source":
+            cached = self._scid_cache.get(spoofed_ip)
+            if cached is None:
+                cached = self.rng.randbytes(8)
+                self._scid_cache[spoofed_ip] = cached
+            return cached
+        return self.rng.randbytes(8)
+
+    @property
+    def unique_scids(self) -> int:
+        """SCIDs handed out so far under a 'source' policy."""
+        return len(self._scid_cache)
+
+    def respond(
+        self, timestamp: float, spoofed_ip: int, spoofed_port: int
+    ) -> list:
+        """Packets sent to ``spoofed_ip`` in response to one Initial.
+
+        Returns :class:`~repro.net.packet.CapturedPacket` records in
+        time order.
+        """
+        version = self.policy.version
+        if self.rng.random() < self.policy.vn_probability:
+            return [self._version_negotiation(timestamp, spoofed_ip, spoofed_port)]
+        scid = self._scid_for(spoofed_ip)
+        # The attacker's Initial carried a DCID from its template pool;
+        # the victim keys its Initial-level response on it.
+        attacker_dcid = self.rng.choice(self._dcid_pool)
+        _ckeys, server_init = derive_initial_keys(version, attacker_dcid)
+        server_hs = derive_handshake_secret(version, attacker_dcid, "server hs")
+
+        server_hello = tls.ServerHello(random=self.rng.randbytes(32))
+        first_chunk = min(len(self._hs_stream), 900)
+        initial_packet = PlainPacket(
+            header=LongHeader(
+                packet_type=PacketType.INITIAL,
+                version=version.value,
+                dcid=b"",
+                scid=scid,
+            ),
+            packet_number=0,
+            frames=[AckFrame(0), CryptoFrame(0, server_hello.serialize())],
+        )
+        hs_1 = PlainPacket(
+            header=LongHeader(
+                packet_type=PacketType.HANDSHAKE,
+                version=version.value,
+                dcid=b"",
+                scid=scid,
+            ),
+            packet_number=0,
+            frames=[CryptoFrame(0, self._hs_stream[:first_chunk])],
+        )
+        hs_2 = PlainPacket(
+            header=LongHeader(
+                packet_type=PacketType.HANDSHAKE,
+                version=version.value,
+                dcid=b"",
+                scid=scid,
+            ),
+            packet_number=1,
+            frames=[CryptoFrame(first_chunk, self._hs_stream[first_chunk:])],
+        )
+        datagram_1 = build_datagram(
+            [(initial_packet, server_init), (hs_1, server_hs)]
+        )
+        datagram_2 = build_datagram([(hs_2, server_hs)])
+
+        schedule = [(0.0, datagram_1), (0.002, datagram_2)]
+        for i in range(self.policy.keepalive_pings):
+            ping = PlainPacket(
+                header=LongHeader(
+                    packet_type=PacketType.HANDSHAKE,
+                    version=version.value,
+                    dcid=b"",
+                    scid=scid,
+                ),
+                packet_number=2 + i,
+                frames=[PingFrame()],
+            )
+            schedule.append((0.05 * (i + 1), build_datagram([(ping, server_hs)])))
+        if self.rng.random() < self.policy.retransmit_probability:
+            # PTO fires: the whole first datagram is retransmitted.
+            schedule.append((1.0, datagram_1))
+
+        return [
+            self._packet(timestamp + delay, spoofed_ip, spoofed_port, payload)
+            for delay, payload in schedule
+        ]
+
+    def _version_negotiation(
+        self, timestamp: float, spoofed_ip: int, spoofed_port: int
+    ) -> CapturedPacket:
+        """The victim rejects a stale-version Initial with a VN packet."""
+        from repro.quic.header import VersionNegotiationPacket
+
+        packet = VersionNegotiationPacket(
+            dcid=self.rng.randbytes(8),
+            scid=self._scid_for(spoofed_ip),
+            supported_versions=(self.policy.version.value, QUIC_V1.value),
+        )
+        return self._packet(timestamp, spoofed_ip, spoofed_port, packet.serialize())
+
+    def _packet(
+        self, timestamp: float, dst_ip: int, dst_port: int, payload: bytes
+    ) -> CapturedPacket:
+        return CapturedPacket(
+            timestamp=timestamp,
+            ip=IPv4Header(src=self.victim_ip, dst=dst_ip, proto=IPProto.UDP),
+            transport=UdpHeader(src_port=443, dst_port=dst_port),
+            payload=payload,
+        )
+
+
+class TcpVictimResponder:
+    """SYN-ACK / RST backscatter from a spoofed TCP SYN flood."""
+
+    def __init__(
+        self, victim_ip: int, rng: SeededRng, service_port: int = 443, rst_fraction: float = 0.15
+    ) -> None:
+        self.victim_ip = victim_ip
+        self.rng = rng.child(f"tcp-responder:{victim_ip}")
+        self.service_port = service_port
+        self.rst_fraction = rst_fraction
+
+    def respond(self, timestamp: float, spoofed_ip: int, spoofed_port: int) -> list:
+        flags = (
+            TcpFlags.RST | TcpFlags.ACK
+            if self.rng.random() < self.rst_fraction
+            else TcpFlags.SYN | TcpFlags.ACK
+        )
+        packet = CapturedPacket(
+            timestamp=timestamp,
+            ip=IPv4Header(src=self.victim_ip, dst=spoofed_ip, proto=IPProto.TCP),
+            transport=TcpHeader(
+                src_port=self.service_port,
+                dst_port=spoofed_port,
+                seq=self.rng.randint(0, 2**32 - 1),
+                ack=self.rng.randint(0, 2**32 - 1),
+                flags=flags,
+            ),
+        )
+        return [packet]
+
+
+class IcmpVictimResponder:
+    """Echo-reply backscatter from a spoofed ICMP echo flood."""
+
+    def __init__(self, victim_ip: int, rng: SeededRng) -> None:
+        self.victim_ip = victim_ip
+        self.rng = rng.child(f"icmp-responder:{victim_ip}")
+        self._sequence = 0
+
+    def respond(self, timestamp: float, spoofed_ip: int, _spoofed_port: int) -> list:
+        self._sequence = (self._sequence + 1) & 0xFFFF
+        packet = CapturedPacket(
+            timestamp=timestamp,
+            ip=IPv4Header(src=self.victim_ip, dst=spoofed_ip, proto=IPProto.ICMP),
+            transport=IcmpHeader(
+                IcmpType.ECHO_REPLY,
+                identifier=self.rng.randint(0, 0xFFFF),
+                sequence=self._sequence,
+            ),
+            payload=b"\x00" * 32,
+        )
+        return [packet]

@@ -1,0 +1,124 @@
+"""Misconfiguration noise: the low-volume backscatter the paper excludes.
+
+Appendix B characterizes the response sessions *below* the DoS
+thresholds: median 0.18 max-pps, 7 s long, 11 packets — traffic from
+misconfigured resolvers/load balancers and one-off spoofing, not
+attacks.  Modeling it matters because the detector must *reject* it
+(the paper classifies only 11% of response sessions as attacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.net.ipv4 import IPProto, IPv4Header
+from repro.net.packet import CapturedPacket
+from repro.net.udp import UdpHeader
+from repro.util.rng import SeededRng
+from repro.internet.topology import InternetModel
+from repro.telescope.backscatter import QuicVictimResponder, ResponderPolicy
+
+
+@dataclass
+class MisconfigurationModel:
+    """Short, slow QUIC response bursts from random content hosts."""
+
+    internet: InternetModel
+    rng: SeededRng
+    sessions_per_day: float = 770.0
+    mean_packets_per_session: float = 11.0
+    mean_duration: float = 7.0
+
+    def __post_init__(self) -> None:
+        self.rng = self.rng.child("misconfig")
+
+    def _pick_source(self) -> int:
+        """A random routed content/enterprise host dribbling responses."""
+        servers = self.internet.all_quic_servers
+        if servers and self.rng.random() < 0.8:
+            return self.rng.choice(servers).address
+        systems = list(self.internet.registry)
+        system = self.rng.choice(systems)
+        prefix = self.rng.choice(system.prefixes)
+        return prefix.address_at(self.rng.randint(1, prefix.size - 2))
+
+    def packets(self, start: float, end: float) -> Iterator[CapturedPacket]:
+        """All misconfiguration packets in [start, end), time-sorted."""
+        rate = self.sessions_per_day / 86400.0
+        sessions = []
+        t = start
+        while True:
+            t += self.rng.expovariate(rate)
+            if t >= end:
+                break
+            sessions.append(self._session(t))
+        merged = sorted(
+            (p for session in sessions for p in session), key=lambda p: p.timestamp
+        )
+        for packet in merged:
+            if start <= packet.timestamp < end:
+                yield packet
+
+    def _session(self, session_start: float) -> list:
+        source = self._pick_source()
+        responder = QuicVictimResponder(
+            source,
+            self.rng.child(f"noise:{source}:{session_start:.3f}"),
+            ResponderPolicy(),
+        )
+        count = max(1, int(self.rng.expovariate(1.0 / self.mean_packets_per_session)) + 1)
+        # 11 packets over ~7 s; each spoofed "request" yields a short
+        # train, so scale the request count down by the train length.
+        requests = max(1, count // 3)
+        dst = self.internet.random_telescope_address(self.rng)
+        dst_port = self.rng.randint(1024, 65535)
+        packets = []
+        t = session_start
+        for _ in range(requests):
+            packets.extend(responder.respond(t, dst, dst_port))
+            t += self.rng.expovariate(requests / max(self.mean_duration, 1.0))
+        packets.sort(key=lambda p: p.timestamp)
+        return packets
+
+
+@dataclass
+class StrayUdpModel:
+    """Non-QUIC UDP/443 traffic: DTLS probes, garbage, misrouted flows.
+
+    These exercise the classifier's dissector step — port-based
+    selection alone would wrongly count them as QUIC (Section 4.1).
+    """
+
+    internet: InternetModel
+    rng: SeededRng
+    packets_per_day: float = 400.0
+
+    def __post_init__(self) -> None:
+        self.rng = self.rng.child("stray-udp")
+
+    def packets(self, start: float, end: float) -> Iterator[CapturedPacket]:
+        rate = self.packets_per_day / 86400.0
+        t = start
+        while True:
+            t += self.rng.expovariate(rate)
+            if t >= end:
+                break
+            to_port_443 = self.rng.random() < 0.5
+            # DTLS 1.2 ClientHello-ish or plain garbage — either way it
+            # must fail QUIC dissection.
+            if self.rng.random() < 0.5:
+                payload = b"\x16\xfe\xfd" + self.rng.randbytes(45)
+            else:
+                payload = self.rng.randbytes(self.rng.randint(1, 25))
+            source = self.internet.random_unrouted_address()
+            dst = self.internet.random_telescope_address(self.rng)
+            yield CapturedPacket(
+                timestamp=t,
+                ip=IPv4Header(src=source, dst=dst, proto=IPProto.UDP),
+                transport=UdpHeader(
+                    src_port=443 if not to_port_443 else self.rng.randint(1024, 65535),
+                    dst_port=443 if to_port_443 else self.rng.randint(1024, 65535),
+                ),
+                payload=payload,
+            )

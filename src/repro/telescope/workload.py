@@ -1,0 +1,158 @@
+"""Scenario composition: a full synthetic measurement campaign.
+
+A :class:`Scenario` wires the Internet model and every traffic source
+into one time-sorted packet stream, together with the *ground truth*
+(planned floods, research sources, bot sessions) that tests and benches
+compare detector output against.  The default configuration is a
+laptop-scale version of the paper's April 2021 month: per-event
+statistics (durations, rates, session sizes) are at paper scale, event
+*counts* are scaled by window length, and research sweeps are sampled
+(see :mod:`repro.telescope.scanners`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.net.packet import CapturedPacket
+from repro.util.rng import SeededRng
+from repro.util.timeutil import APRIL_1_2021, DAY
+from repro.internet.topology import InternetModel, TopologyConfig
+from repro.telescope.attacks import (
+    AttackPlan,
+    AttackPlanConfig,
+    AttackPlanner,
+    AttackTrafficModel,
+)
+from repro.telescope.noise import MisconfigurationModel, StrayUdpModel
+from repro.telescope.scanners import BotScannerModel, ResearchScannerModel, TcpScannerModel
+from repro.telescope.telescope import Telescope, merge_streams
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to regenerate a measurement campaign."""
+
+    seed: int = 20210401
+    start: float = APRIL_1_2021
+    duration: float = 2 * DAY
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    attacks: AttackPlanConfig = field(default_factory=AttackPlanConfig)
+    #: research sweep sampling (1/64 of telescope addresses per sweep).
+    research_sample: float = 1.0 / 64.0
+    research_sweep_interval: float = 43200.0
+    research_sweep_duration: float = 21600.0
+    bot_sessions_per_day: float = 1000.0
+    tcp_scan_sessions_per_day: float = 800.0
+    misconfig_sessions_per_day: float = 770.0
+    stray_packets_per_day: float = 400.0
+    include_research: bool = True
+    include_bots: bool = True
+    include_tcp_scans: bool = True
+    include_attacks: bool = True
+    include_misconfig: bool = True
+    include_stray: bool = True
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class ScenarioTruth:
+    """Ground truth for detector validation."""
+
+    plan: AttackPlan
+    research_sources: frozenset
+    research_weight: float
+    bot_sources: frozenset
+
+    @property
+    def quic_victims(self) -> frozenset:
+        return frozenset(f.victim_ip for f in self.plan.quic_floods)
+
+
+class Scenario:
+    """A composed, reproducible telescope measurement campaign."""
+
+    def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
+        self.config = config or ScenarioConfig()
+        self.rng = SeededRng(self.config.seed, "scenario")
+        self.internet = InternetModel(self.rng.child("internet"), self.config.topology)
+        self.telescope = Telescope(self.internet.telescope_net)
+
+        self._research = [
+            ResearchScannerModel(
+                scanner=scanner,
+                internet=self.internet,
+                rng=self.rng.child(f"research:{i}"),
+                sweep_interval=self.config.research_sweep_interval,
+                sweep_duration=self.config.research_sweep_duration,
+                sample=self.config.research_sample,
+                phase=i * self.config.research_sweep_interval / 2,
+            )
+            for i, scanner in enumerate(self.internet.research_scanners)
+        ]
+        self._bots = BotScannerModel(
+            internet=self.internet,
+            rng=self.rng.child("bots"),
+            sessions_per_day=self.config.bot_sessions_per_day,
+        )
+        self._tcp_scans = TcpScannerModel(
+            internet=self.internet,
+            rng=self.rng.child("tcp-scans"),
+            sessions_per_day=self.config.tcp_scan_sessions_per_day,
+        )
+        self._misconfig = MisconfigurationModel(
+            internet=self.internet,
+            rng=self.rng.child("misconfig"),
+            sessions_per_day=self.config.misconfig_sessions_per_day,
+        )
+        self._stray = StrayUdpModel(
+            internet=self.internet,
+            rng=self.rng.child("stray"),
+            packets_per_day=self.config.stray_packets_per_day,
+        )
+        planner = AttackPlanner(
+            self.internet, self.rng.child("planner"), self.config.attacks
+        )
+        self.plan: AttackPlan = (
+            planner.plan(self.config.start, self.config.end)
+            if self.config.include_attacks
+            else AttackPlan()
+        )
+        self._attack_traffic = AttackTrafficModel(
+            self.internet, self.rng.child("attack-traffic"), self.config.attacks
+        )
+
+    @property
+    def truth(self) -> ScenarioTruth:
+        return ScenarioTruth(
+            plan=self.plan,
+            research_sources=frozenset(
+                s.address for s in self.internet.research_scanners
+            ),
+            research_weight=(
+                self._research[0].weight if self._research else 1.0
+            ),
+            bot_sources=frozenset(b.address for b in self.internet.bot_hosts),
+        )
+
+    def packets(self) -> Iterator[CapturedPacket]:
+        """The telescope's merged capture for the whole window."""
+        start, end = self.config.start, self.config.end
+        streams = []
+        if self.config.include_research:
+            streams.extend(model.packets(start, end) for model in self._research)
+        if self.config.include_bots:
+            streams.append(self._bots.packets(start, end))
+        if self.config.include_tcp_scans:
+            streams.append(self._tcp_scans.packets(start, end))
+        if self.config.include_attacks:
+            streams.append(self._attack_traffic.packets(self.plan))
+        if self.config.include_misconfig:
+            streams.append(self._misconfig.packets(start, end))
+        if self.config.include_stray:
+            streams.append(self._stray.packets(start, end))
+        return self.telescope.capture(merge_streams(*streams))

@@ -1,0 +1,45 @@
+"""Shared utilities for the QUICsand reproduction.
+
+This package contains small, dependency-free building blocks used across
+the substrates and the analysis core:
+
+- :mod:`repro.util.varint` — QUIC variable-length integers (RFC 9000 §16).
+- :mod:`repro.util.rng` — deterministic, stream-splittable random sources.
+- :mod:`repro.util.timeutil` — epoch/bucket helpers for time-series work.
+- :mod:`repro.util.stats` — empirical CDFs, percentiles and summaries.
+- :mod:`repro.util.render` — plain-text tables and charts for benches.
+"""
+
+from repro.util.varint import (
+    VarintError,
+    decode_varint,
+    encode_varint,
+    varint_length,
+)
+from repro.util.rng import SeededRng, derive_seed
+from repro.util.stats import EmpiricalCdf, Summary, percentile, summarize
+from repro.util.timeutil import (
+    HOUR,
+    MINUTE,
+    bucket_of,
+    hour_of_day,
+    iter_buckets,
+)
+
+__all__ = [
+    "VarintError",
+    "decode_varint",
+    "encode_varint",
+    "varint_length",
+    "SeededRng",
+    "derive_seed",
+    "EmpiricalCdf",
+    "Summary",
+    "percentile",
+    "summarize",
+    "HOUR",
+    "MINUTE",
+    "bucket_of",
+    "hour_of_day",
+    "iter_buckets",
+]

@@ -1,0 +1,128 @@
+"""Small statistics helpers: percentiles, empirical CDFs, summaries.
+
+The paper reports most results as CDFs (Figures 6, 7, 12, 13) and
+medians.  :class:`EmpiricalCdf` is the shared representation the bench
+harness prints and the tests assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100].
+
+    >>> percentile([1, 2, 3, 4], 50)
+    2.5
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} min={self.minimum:.2f} "
+            f"p25={self.p25:.2f} med={self.median:.2f} p75={self.p75:.2f} "
+            f"max={self.maximum:.2f}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Build a :class:`Summary` from any iterable of numbers."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("summarize of empty sequence")
+    return Summary(
+        count=len(data),
+        mean=sum(data) / len(data),
+        minimum=data[0],
+        p25=percentile(data, 25),
+        median=percentile(data, 50),
+        p75=percentile(data, 75),
+        maximum=data[-1],
+    )
+
+
+class EmpiricalCdf:
+    """Empirical cumulative distribution over a finite sample.
+
+    >>> cdf = EmpiricalCdf([1, 1, 2, 4])
+    >>> cdf.fraction_at_most(1)
+    0.5
+    >>> cdf.quantile(0.75)
+    2
+    """
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self._values = sorted(float(v) for v in values)
+        if not self._values:
+            raise ValueError("EmpiricalCdf of empty sample")
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> list[float]:
+        return list(self._values)
+
+    def fraction_at_most(self, x: float) -> float:
+        """P(X <= x) under the empirical distribution."""
+        low, high = 0, len(self._values)
+        while low < high:
+            mid = (low + high) // 2
+            if self._values[mid] <= x:
+                low = mid + 1
+            else:
+                high = mid
+        return low / len(self._values)
+
+    def quantile(self, q: float) -> float:
+        """Smallest sample value v with P(X <= v) >= q, for q in (0, 1]."""
+        if not 0 < q <= 1:
+            raise ValueError(f"quantile q={q} outside (0, 1]")
+        index = max(0, int(q * len(self._values) + 0.999999) - 1)
+        return self._values[min(index, len(self._values) - 1)]
+
+    @property
+    def median_value(self) -> float:
+        return percentile(self._values, 50)
+
+    def steps(self, max_points: int = 200) -> list[tuple[float, float]]:
+        """(value, cumulative fraction) pairs, thinned for display."""
+        n = len(self._values)
+        points = [(v, (i + 1) / n) for i, v in enumerate(self._values)]
+        if n <= max_points:
+            return points
+        stride = n / max_points
+        picked = [points[min(int(i * stride), n - 1)] for i in range(max_points)]
+        if picked[-1] != points[-1]:
+            picked.append(points[-1])
+        return picked

@@ -1,0 +1,81 @@
+"""QUIC variable-length integer encoding (RFC 9000, Section 16).
+
+QUIC encodes integers in 1, 2, 4 or 8 bytes.  The two most significant
+bits of the first byte encode the total length of the field
+(``00`` -> 1 byte, ``01`` -> 2, ``10`` -> 4, ``11`` -> 8); the remaining
+bits carry the value in network byte order.
+
+The functions here are used both by the packet *builders* (traffic
+generators, handshake machines) and by the *dissector*, so they are kept
+strict: malformed input raises :class:`VarintError` instead of silently
+mis-parsing, mirroring how Wireshark flags malformed QUIC packets.
+"""
+
+from __future__ import annotations
+
+MAX_VARINT = (1 << 62) - 1
+
+_PREFIX_TO_LENGTH = {0b00: 1, 0b01: 2, 0b10: 4, 0b11: 8}
+
+
+class VarintError(ValueError):
+    """Raised when a varint cannot be encoded or decoded."""
+
+
+def varint_length(value: int) -> int:
+    """Return the number of bytes needed to encode ``value``.
+
+    >>> varint_length(37)
+    1
+    >>> varint_length(15293)
+    2
+    """
+    if value < 0:
+        raise VarintError(f"varint cannot encode negative value {value}")
+    if value <= 63:
+        return 1
+    if value <= 16383:
+        return 2
+    if value <= 1073741823:
+        return 4
+    if value <= MAX_VARINT:
+        return 8
+    raise VarintError(f"value {value} exceeds 62-bit varint range")
+
+
+def encode_varint(value: int, length: int | None = None) -> bytes:
+    """Encode ``value`` as a QUIC varint.
+
+    ``length`` may force a wider-than-minimal encoding (1, 2, 4 or 8),
+    which RFC 9000 permits and some implementations use, e.g. to
+    reserve room for later in-place updates.
+    """
+    minimal = varint_length(value)
+    if length is None:
+        length = minimal
+    if length not in (1, 2, 4, 8):
+        raise VarintError(f"invalid varint length {length}")
+    if length < minimal:
+        raise VarintError(f"value {value} does not fit in {length} byte(s)")
+    prefix = {1: 0b00, 2: 0b01, 4: 0b10, 8: 0b11}[length]
+    raw = value.to_bytes(length, "big")
+    return bytes([raw[0] | (prefix << 6)]) + raw[1:]
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint from ``data`` starting at ``offset``.
+
+    Returns ``(value, new_offset)``.  Raises :class:`VarintError` when
+    the buffer is truncated.
+    """
+    if offset >= len(data):
+        raise VarintError("varint truncated: empty buffer")
+    first = data[offset]
+    length = _PREFIX_TO_LENGTH[first >> 6]
+    end = offset + length
+    if end > len(data):
+        raise VarintError(
+            f"varint truncated: need {length} bytes, have {len(data) - offset}"
+        )
+    raw = bytes([first & 0x3F]) + data[offset + 1 : end]
+    return int.from_bytes(raw, "big"), end

@@ -1,0 +1,140 @@
+"""Tests for the CLI and the full-text report."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.core import QuicsandPipeline
+from repro.core.report import build_report
+from repro.telescope import Scenario, ScenarioConfig
+from repro.util.timeutil import HOUR
+
+FAST = ["--hours", "0.5", "--research-sample", "0.0005", "--seed", "11"]
+
+
+def run_cli(argv):
+    stream = io.StringIO()
+    code = main(argv, stream=stream)
+    return code, stream.getvalue()
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    scenario = Scenario(ScenarioConfig(seed=11, duration=2 * HOUR, research_sample=1 / 2048))
+    pipeline = QuicsandPipeline(
+        registry=scenario.internet.registry,
+        census=scenario.internet.census,
+        greynoise=scenario.internet.greynoise,
+    )
+    return scenario, pipeline.process(scenario.packets())
+
+
+# -- report ------------------------------------------------------------
+
+
+def test_report_contains_all_sections(small_result):
+    scenario, result = small_result
+    text = build_report(result, research_weight=scenario.truth.research_weight)
+    for marker in (
+        "Overview (Figure 2)",
+        "Traffic types (Figure 3)",
+        "Session timeout sweep (Figure 4)",
+        "Source network types (Figure 5)",
+        "DoS floods (Figures 6, 7)",
+        "Multi-vector attacks (Figures 8, 12, 13)",
+        "Attack pattern validity (Section 6)",
+        "RETRY audit (Section 6)",
+    ):
+        assert marker in text, f"missing section {marker!r}"
+
+
+def test_report_mentions_paper_baselines(small_result):
+    scenario, result = small_result
+    text = build_report(result)
+    assert "paper: 98.5%" in text
+    assert "paper: 255 s" in text
+    assert "paper: 51%" in text
+
+
+def test_report_without_attacks():
+    scenario = Scenario(
+        ScenarioConfig(seed=1, duration=0.2 * HOUR, research_sample=1 / 4096, include_attacks=False)
+    )
+    pipeline = QuicsandPipeline(registry=scenario.internet.registry)
+    result = pipeline.process(scenario.packets())
+    text = build_report(result)
+    assert "No QUIC flood attacks detected." in text
+
+
+# -- cli ------------------------------------------------------------
+
+
+def test_cli_report_command():
+    code, out = run_cli(["report"] + FAST)
+    assert code == 0
+    assert "Overview (Figure 2)" in out
+    assert "RETRY" in out
+
+
+def test_cli_report_writes_file(tmp_path):
+    out_file = tmp_path / "report.txt"
+    code, _out = run_cli(["report"] + FAST + ["--report-out", str(out_file)])
+    assert code == 0
+    assert "Overview (Figure 2)" in out_file.read_text()
+
+
+def test_cli_simulate_then_analyze(tmp_path):
+    pcap = tmp_path / "capture.pcap"
+    code, out = run_cli(["simulate"] + FAST + ["--out", str(pcap)])
+    assert code == 0
+    assert pcap.stat().st_size > 1000
+    assert "wrote" in out
+
+    code, out = run_cli(["analyze", str(pcap)] + FAST)
+    assert code == 0
+    assert "Overview (Figure 2)" in out
+
+
+def test_cli_analyze_without_correlation(tmp_path):
+    pcap = tmp_path / "capture.pcap"
+    run_cli(["simulate"] + FAST + ["--out", str(pcap)])
+    code, out = run_cli(["analyze", str(pcap), "--no-correlation"] + FAST)
+    assert code == 0
+    assert "Overview" in out
+
+
+def test_cli_table1():
+    code, out = run_cli(["table1"])
+    assert code == 0
+    assert "Table 1" in out
+    assert "auto=128" in out
+    assert out.count("100%") >= 4
+
+
+def test_cli_probe():
+    code, out = run_cli(["probe"] + FAST + ["--count", "3"])
+    assert code == 0
+    assert "Active RETRY probes" in out
+    assert out.count("yes") >= 3  # handshakes complete
+    lines = [l for l in out.splitlines() if l and l[0].isdigit()]
+    assert len(lines) == 3
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        run_cli([])
+
+
+def test_cli_unknown_command():
+    with pytest.raises(SystemExit):
+        run_cli(["frobnicate"])
+
+
+def test_cli_report_with_export(tmp_path):
+    export_dir = tmp_path / "data"
+    code, out = run_cli(["report"] + FAST + ["--export", str(export_dir)])
+    assert code == 0
+    assert "exported" in out
+    assert (export_dir / "summary.json").exists()
+    assert (export_dir / "fig7_attacks.csv").exists()

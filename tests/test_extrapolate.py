@@ -1,0 +1,84 @@
+"""Tests for telescope-to-Internet extrapolation."""
+
+import pytest
+
+from repro.core.extrapolate import TelescopeExtrapolator
+from repro.net.addresses import IPv4Network
+
+
+@pytest.fixture
+def slash9():
+    return TelescopeExtrapolator(IPv4Network.from_cidr("44.0.0.0/9"))
+
+
+def test_factor_512_for_slash9(slash9):
+    assert slash9.factor == 512
+    assert slash9.coverage == pytest.approx(1 / 512)
+
+
+def test_paper_extrapolation_example(slash9):
+    """Section 5.2: 27 pps at the /9 -> 27*512 = 13,824 pps."""
+    estimate = slash9.rate(27.0)
+    assert estimate.estimated_pps == pytest.approx(13_824)
+    assert estimate.low_pps < estimate.estimated_pps < estimate.high_pps
+
+
+def test_median_flood_extrapolates_to_512(slash9):
+    estimate = slash9.rate(1.0)
+    assert estimate.estimated_pps == pytest.approx(512)
+
+
+def test_interval_tightens_with_window(slash9):
+    narrow = slash9.rate(1.0, window=60.0)
+    wide = slash9.rate(1.0, window=600.0)
+    assert (wide.high_pps - wide.low_pps) < (narrow.high_pps - narrow.low_pps)
+
+
+def test_zero_rate(slash9):
+    estimate = slash9.rate(0.0)
+    assert estimate.estimated_pps == 0.0
+    assert estimate.low_pps == 0.0
+    assert estimate.high_pps == 0.0
+
+
+def test_negative_rate_rejected(slash9):
+    with pytest.raises(ValueError):
+        slash9.rate(-1.0)
+
+
+def test_sweep_constant(slash9):
+    assert slash9.scan_packets_per_sweep() == 2**23
+
+
+def test_detection_probability_monotone(slash9):
+    small = slash9.detection_probability(10)
+    large = slash9.detection_probability(10_000)
+    assert 0 < small < large < 1
+    assert slash9.detection_probability(0) == 0.0
+    with pytest.raises(ValueError):
+        slash9.detection_probability(-1)
+
+
+def test_detection_probability_half_at_355(slash9):
+    # 1-(1-1/512)^n = 0.5 at n ~ 355 spoofed packets
+    assert slash9.detection_probability(355) == pytest.approx(0.5, abs=0.01)
+
+
+def test_smaller_telescope_higher_floor():
+    slash9 = TelescopeExtrapolator(IPv4Network.from_cidr("44.0.0.0/9"))
+    slash16 = TelescopeExtrapolator(IPv4Network.from_cidr("10.0.0.0/16"))
+    assert slash16.min_rate_for_threshold() > slash9.min_rate_for_threshold()
+    assert slash9.min_rate_for_threshold(0.5) == 256.0
+
+
+def test_attack_rate_uses_max_pps(slash9):
+    class FakeAttack:
+        max_pps = 2.0
+
+    estimate = slash9.attack_rate(FakeAttack())
+    assert estimate.estimated_pps == pytest.approx(1024)
+
+
+def test_estimate_str_renders(slash9):
+    text = str(slash9.rate(1.0))
+    assert "512" in text and "pps" in text

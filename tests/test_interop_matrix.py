@@ -1,0 +1,133 @@
+"""Interop-style handshake matrix.
+
+The paper cites the QUIC Interop Runner's results that "the majority of
+QUIC server and client implementations correctly support the RETRY
+option".  In that spirit, this grid exercises every combination of
+
+  deployed version x RETRY on/off x resumption on/off x keep-alives
+
+through the real wire-format endpoints and asserts the handshake
+completes with the expected round-trip count — the same matrix a
+`quic-interop-runner` ``handshake``/``retry``/``resumption``/``zerortt``
+test column covers.
+"""
+
+import pytest
+
+from repro.util.rng import SeededRng
+from repro.quic.connection import ClientConnection, ServerConnection
+from repro.quic.resumption import SessionCache
+from repro.quic.versions import DRAFT_27, DRAFT_29, MVFST_27, QUIC_V1
+
+VERSIONS = (QUIC_V1, DRAFT_29, DRAFT_27, MVFST_27)
+
+
+def ferry(client, server, ip=0x0B000001, port=7000):
+    pending = [client.initial_datagram()]
+    for _ in range(10):
+        if not pending:
+            break
+        nxt = []
+        for datagram in pending:
+            for response in server.handle_datagram(datagram, ip, port, now=50.0):
+                for reply in client.handle_datagram(response.data):
+                    nxt.append(reply.data)
+        pending = nxt
+    return client.result()
+
+
+@pytest.mark.parametrize("version", VERSIONS, ids=lambda v: v.name)
+@pytest.mark.parametrize("retry", [False, True], ids=["noretry", "retry"])
+@pytest.mark.parametrize("keepalives", [0, 2], ids=["nokeepalive", "keepalive"])
+def test_handshake_matrix(version, retry, keepalives):
+    rng = SeededRng(hash((version.value, retry, keepalives)) & 0xFFFFFFFF)
+    server = ServerConnection(
+        rng.child("server"),
+        supported_versions=(version,),
+        retry_enabled=retry,
+        keepalive_pings=keepalives,
+    )
+    client = ClientConnection(
+        rng.child("client"), version=version, supported_versions=(version,)
+    )
+    result = ferry(client, server)
+    assert result.completed, f"{version.name} retry={retry} failed"
+    assert result.version is version
+    expected_rts = 2 if retry else 1
+    assert result.round_trips == expected_rts
+    assert result.retries_seen == (1 if retry else 0)
+
+
+@pytest.mark.parametrize("version", VERSIONS, ids=lambda v: v.name)
+@pytest.mark.parametrize("retry", [False, True], ids=["noretry", "retry"])
+def test_resumption_matrix(version, retry):
+    rng = SeededRng(hash(("resume", version.value, retry)) & 0xFFFFFFFF)
+    cache = SessionCache()
+    server = ServerConnection(
+        rng.child("server"), supported_versions=(version,), retry_enabled=retry
+    )
+    first = ClientConnection(
+        rng.child("first"),
+        version=version,
+        supported_versions=(version,),
+        server_name="m.example",
+        session_cache=cache,
+    )
+    assert ferry(first, server).completed
+    state = cache.lookup("m.example")
+    assert state is not None and state.version is version
+
+    second = ClientConnection(
+        rng.child("second"),
+        server_name="m.example",
+        supported_versions=(version,),
+        resumption=state,
+        early_data=b"0rtt-request",
+    )
+    result = ferry(second, server)
+    assert result.completed
+    assert result.used_0rtt
+    assert result.round_trips == 1  # resumption always skips the retry RT
+    assert server.stats["zero_rtt_accepted"] == 1
+
+
+@pytest.mark.parametrize(
+    "client_versions,server_versions,expected",
+    [
+        ((DRAFT_29, QUIC_V1), (QUIC_V1,), QUIC_V1),
+        ((MVFST_27, DRAFT_29), (DRAFT_29, QUIC_V1), DRAFT_29),
+        ((DRAFT_27, DRAFT_29, QUIC_V1), (DRAFT_27,), DRAFT_27),
+    ],
+    ids=["d29->v1", "mvfst->d29", "d27-direct"],
+)
+def test_version_negotiation_matrix(client_versions, server_versions, expected):
+    rng = SeededRng(hash((tuple(v.value for v in client_versions), expected.value)) & 0xFFFFFFFF)
+    server = ServerConnection(rng.child("server"), supported_versions=server_versions)
+    client = ClientConnection(
+        rng.child("client"),
+        version=client_versions[0],
+        supported_versions=client_versions,
+    )
+    result = ferry(client, server)
+    assert result.completed
+    assert result.version is expected
+
+
+@pytest.mark.parametrize("version", VERSIONS, ids=lambda v: v.name)
+def test_http3_matrix(version):
+    rng = SeededRng(hash(("h3", version.value)) & 0xFFFFFFFF)
+    server = ServerConnection(
+        rng.child("server"),
+        supported_versions=(version,),
+        pages={"/": b"interop"},
+    )
+    client = ClientConnection(
+        rng.child("client"), version=version, supported_versions=(version,)
+    )
+    assert ferry(client, server).completed
+    request = client.request_datagram("/")
+    for response in server.handle_datagram(request, 0x0B000001, 7000, now=51.0):
+        client.handle_datagram(response.data)
+    assert client.http_responses
+    assert client.http_responses[0].status == 200
+    assert client.http_responses[0].body == b"interop"

@@ -1,0 +1,104 @@
+"""Tests for the longest-prefix-match trie."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.internet.prefix_trie import PrefixTrie
+from repro.net.addresses import IPv4Network, parse_ipv4
+
+
+def test_empty_trie_lookup():
+    trie = PrefixTrie()
+    assert trie.lookup(parse_ipv4("1.2.3.4")) is None
+    assert len(trie) == 0
+
+
+def test_insert_and_lookup():
+    trie = PrefixTrie()
+    trie.insert(IPv4Network.from_cidr("10.0.0.0/8"), "ten")
+    assert trie.lookup(parse_ipv4("10.200.1.1")) == "ten"
+    assert trie.lookup(parse_ipv4("11.0.0.1")) is None
+    assert len(trie) == 1
+
+
+def test_longest_prefix_wins():
+    trie = PrefixTrie()
+    trie.insert(IPv4Network.from_cidr("10.0.0.0/8"), "coarse")
+    trie.insert(IPv4Network.from_cidr("10.1.0.0/16"), "fine")
+    trie.insert(IPv4Network.from_cidr("10.1.2.0/24"), "finest")
+    assert trie.lookup(parse_ipv4("10.9.9.9")) == "coarse"
+    assert trie.lookup(parse_ipv4("10.1.9.9")) == "fine"
+    assert trie.lookup(parse_ipv4("10.1.2.9")) == "finest"
+
+
+def test_replace_value():
+    trie = PrefixTrie()
+    net = IPv4Network.from_cidr("10.0.0.0/8")
+    trie.insert(net, "a")
+    trie.insert(net, "b")
+    assert trie.lookup(parse_ipv4("10.0.0.1")) == "b"
+    assert len(trie) == 1
+
+
+def test_default_route():
+    trie = PrefixTrie()
+    trie.insert(IPv4Network.from_cidr("0.0.0.0/0"), "default")
+    trie.insert(IPv4Network.from_cidr("192.168.0.0/16"), "private")
+    assert trie.lookup(parse_ipv4("8.8.8.8")) == "default"
+    assert trie.lookup(parse_ipv4("192.168.1.1")) == "private"
+
+
+def test_host_route():
+    trie = PrefixTrie()
+    trie.insert(IPv4Network.from_cidr("1.2.3.4/32"), "host")
+    assert trie.lookup(parse_ipv4("1.2.3.4")) == "host"
+    assert trie.lookup(parse_ipv4("1.2.3.5")) is None
+
+
+def test_lookup_exact():
+    trie = PrefixTrie()
+    trie.insert(IPv4Network.from_cidr("10.0.0.0/8"), "a")
+    assert trie.lookup_exact(IPv4Network.from_cidr("10.0.0.0/8")) == "a"
+    assert trie.lookup_exact(IPv4Network.from_cidr("10.0.0.0/9")) is None
+
+
+def test_items_roundtrip():
+    trie = PrefixTrie()
+    nets = ["10.0.0.0/8", "10.128.0.0/9", "172.16.0.0/12", "0.0.0.0/0"]
+    for i, cidr in enumerate(nets):
+        trie.insert(IPv4Network.from_cidr(cidr), i)
+    got = {str(net): value for net, value in trie.items()}
+    assert got == {
+        "10.0.0.0/8": 0,
+        "10.128.0.0/9": 1,
+        "172.16.0.0/12": 2,
+        "0.0.0.0/0": 3,
+    }
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**32 - 1),
+            st.integers(min_value=1, max_value=32),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_lookup_matches_linear_scan(prefixes, probe):
+    trie = PrefixTrie()
+    nets = []
+    for address, plen in prefixes:
+        net = IPv4Network(address, plen)
+        trie.insert(net, str(net))
+        nets.append(net)
+    expected = None
+    best_len = -1
+    for net in nets:
+        if probe in net and net.prefix_len > best_len:
+            expected = str(net)
+            best_len = net.prefix_len
+    assert trie.lookup(probe) == expected

@@ -1,0 +1,198 @@
+"""End-to-end handshake tests: the datagram trains of Figure 1 / Section 6."""
+
+import pytest
+
+from repro.util.rng import SeededRng
+from repro.quic.connection import (
+    AMPLIFICATION_LIMIT,
+    ClientConnection,
+    ServerConnection,
+)
+from repro.quic.header import LongHeader, PacketType, RetryPacket, VersionNegotiationPacket
+from repro.quic.packet import MIN_INITIAL_DATAGRAM, split_datagram
+from repro.quic.versions import DRAFT_29, MVFST_27, QUIC_V1
+
+
+@pytest.fixture
+def rng():
+    return SeededRng(20210401)
+
+
+def _run_handshake(client, server, max_rounds=6):
+    """Ferry datagrams until quiescence; returns all server datagrams."""
+    server_datagrams = []
+    pending = [client.initial_datagram()]
+    for _ in range(max_rounds):
+        if not pending:
+            break
+        next_pending = []
+        for datagram in pending:
+            for response in server.handle_datagram(datagram, 0x01020304, 44444, now=10.0):
+                server_datagrams.append(response)
+                for reply in client.handle_datagram(response.data):
+                    next_pending.append(reply.data)
+        pending = next_pending
+    return server_datagrams
+
+
+def test_typical_1rtt_handshake_completes(rng):
+    client = ClientConnection(rng.child("c"))
+    server = ServerConnection(rng.child("s"))
+    _run_handshake(client, server)
+    assert client.result().completed
+    assert server.stats["handshakes"] == 1
+    assert list(server.connections.values())[0]["established"]
+
+
+def test_client_initial_is_padded_to_1200(rng):
+    client = ClientConnection(rng.child("c"))
+    assert len(client.initial_datagram()) == MIN_INITIAL_DATAGRAM
+
+
+def test_server_flight_is_four_datagrams_with_keepalives(rng):
+    """Paper Section 6: each Initial elicits four response datagrams."""
+    client = ClientConnection(rng.child("c"))
+    server = ServerConnection(rng.child("s"), keepalive_pings=2)
+    responses = server.handle_datagram(client.initial_datagram(), 1, 2, now=0.0)
+    assert len(responses) == 4
+    # Datagram 1 coalesces Initial + Handshake; datagram 2 is Handshake-only.
+    types_1 = [v.packet_type for v in split_datagram(responses[0].data)]
+    types_2 = [v.packet_type for v in split_datagram(responses[1].data)]
+    assert types_1 == [PacketType.INITIAL, PacketType.HANDSHAKE]
+    assert types_2 == [PacketType.HANDSHAKE]
+    # Keep-alive PINGs arrive after a delay.
+    assert responses[2].delay > 0 and responses[3].delay > responses[2].delay
+
+
+def test_message_type_ratio_matches_paper(rng):
+    """One Initial vs two Handshake packets per default response train:
+    the one-third/two-thirds ratio the paper derives in Section 6."""
+    client = ClientConnection(rng.child("c"))
+    server = ServerConnection(rng.child("s"))
+    responses = server.handle_datagram(client.initial_datagram(), 1, 2, now=0.0)
+    assert len(responses) == 2
+    views = [v for r in responses for v in split_datagram(r.data)]
+    initials = sum(1 for v in views if v.packet_type is PacketType.INITIAL)
+    handshakes = sum(1 for v in views if v.packet_type is PacketType.HANDSHAKE)
+    assert initials == 1
+    assert handshakes == 2
+
+
+def test_backscatter_initial_has_zero_length_dcid(rng):
+    """Paper Section 5.2 validity check: DCID length zero in backscatter."""
+    client = ClientConnection(rng.child("c"))
+    server = ServerConnection(rng.child("s"), keepalive_pings=2)
+    responses = server.handle_datagram(client.initial_datagram(), 1, 2, now=0.0)
+    for response in responses:
+        for view in split_datagram(response.data):
+            assert isinstance(view, LongHeader)
+            assert view.dcid == b""
+            assert len(view.scid) == 8
+
+
+def test_server_initial_contains_no_plain_client_hello(rng):
+    """Backscatter Initials must not contain an unencrypted ClientHello."""
+    from repro.quic.tls import looks_like_client_hello
+
+    client = ClientConnection(rng.child("c"))
+    server = ServerConnection(rng.child("s"))
+    responses = server.handle_datagram(client.initial_datagram(), 1, 2, now=0.0)
+    raw = responses[0].data
+    for start in range(len(raw) - 4):
+        assert not looks_like_client_hello(raw[start:])
+
+
+def test_anti_amplification_limit_respected(rng):
+    client = ClientConnection(rng.child("c"))
+    server = ServerConnection(rng.child("s"), cert_chain_len=3000)
+    initial = client.initial_datagram()
+    responses = server.handle_datagram(initial, 1, 2, now=0.0)
+    total = sum(len(r.data) for r in responses)
+    assert total <= AMPLIFICATION_LIMIT * len(initial)
+
+
+def test_retry_flow(rng):
+    client = ClientConnection(rng.child("c"))
+    server = ServerConnection(rng.child("s"), retry_enabled=True)
+    first = server.handle_datagram(client.initial_datagram(), 7, 8, now=1.0)
+    assert len(first) == 1
+    assert isinstance(split_datagram(first[0].data)[0], RetryPacket)
+    # Token-bearing Initial gets the full flight.
+    retry_reply = client.handle_datagram(first[0].data)
+    assert len(retry_reply) == 1
+    second = server.handle_datagram(retry_reply[0].data, 7, 8, now=1.1)
+    assert len(second) == 2
+    assert server.stats["retries_sent"] == 1
+    assert client.retries_seen == 1
+
+
+def test_retry_with_spoofed_address_gets_nothing(rng):
+    """The RETRY defense: a token echoed from the wrong address is dropped."""
+    client = ClientConnection(rng.child("c"))
+    server = ServerConnection(rng.child("s"), retry_enabled=True)
+    first = server.handle_datagram(client.initial_datagram(), 7, 8, now=1.0)
+    retry_reply = client.handle_datagram(first[0].data)
+    # Replay the tokened Initial from a different source address.
+    responses = server.handle_datagram(retry_reply[0].data, 9999, 8, now=1.1)
+    assert responses == []
+
+
+def test_second_retry_ignored_by_client(rng):
+    client = ClientConnection(rng.child("c"))
+    server = ServerConnection(rng.child("s"), retry_enabled=True)
+    first = server.handle_datagram(client.initial_datagram(), 7, 8, now=1.0)
+    client.handle_datagram(first[0].data)
+    again = client.handle_datagram(first[0].data)
+    assert again == []
+
+
+def test_version_negotiation_flow(rng):
+    client = ClientConnection(
+        rng.child("c"), version=DRAFT_29, supported_versions=(DRAFT_29, QUIC_V1)
+    )
+    server = ServerConnection(rng.child("s"), supported_versions=(QUIC_V1,))
+    first = server.handle_datagram(client.initial_datagram(), 1, 2, now=0.0)
+    assert isinstance(split_datagram(first[0].data)[0], VersionNegotiationPacket)
+    replies = client.handle_datagram(first[0].data)
+    assert client.version is QUIC_V1
+    assert len(replies) == 1
+    assert server.stats["vn_sent"] == 1
+
+
+def test_version_negotiation_no_common_version_fails(rng):
+    client = ClientConnection(
+        rng.child("c"), version=DRAFT_29, supported_versions=(DRAFT_29,)
+    )
+    server = ServerConnection(rng.child("s"), supported_versions=(QUIC_V1,))
+    first = server.handle_datagram(client.initial_datagram(), 1, 2, now=0.0)
+    replies = client.handle_datagram(first[0].data)
+    assert replies == []
+    assert client.state == "failed"
+
+
+def test_mvfst_handshake(rng):
+    client = ClientConnection(
+        rng.child("c"), version=MVFST_27, supported_versions=(MVFST_27,)
+    )
+    server = ServerConnection(rng.child("s"), supported_versions=(MVFST_27, QUIC_V1))
+    _run_handshake(client, server)
+    assert client.result().completed
+    assert client.result().version is MVFST_27
+
+
+def test_garbage_initial_dropped(rng):
+    server = ServerConnection(rng.child("s"))
+    # Valid header but payload keyed with a mismatched DCID: decrypt fails.
+    client = ClientConnection(rng.child("c"))
+    datagram = bytearray(client.initial_datagram())
+    datagram[600] ^= 0xFF  # corrupt ciphertext
+    assert server.handle_datagram(bytes(datagram), 1, 2, now=0.0) == []
+
+
+def test_server_tracks_connection_state_per_odcid(rng):
+    server = ServerConnection(rng.child("s"))
+    for i in range(5):
+        client = ClientConnection(rng.child(f"c{i}"))
+        server.handle_datagram(client.initial_datagram(), i, 1000 + i, now=0.0)
+    assert len(server.connections) == 5
+    assert server.stats["handshakes"] == 5

@@ -1,0 +1,157 @@
+"""Tests for HKDF, initial secrets, the AEAD substitution and PN coding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quic import crypto
+from repro.quic.crypto import (
+    DecryptError,
+    PacketKeys,
+    aead_open,
+    aead_seal,
+    decode_packet_number,
+    derive_initial_keys,
+    encode_packet_number,
+    header_protection_mask,
+    hkdf_expand,
+    hkdf_expand_label,
+    hkdf_extract,
+    keys_from_secret,
+)
+from repro.quic.versions import DRAFT_29, QUIC_V1
+
+
+def test_hkdf_rfc5869_test_case_1():
+    ikm = bytes([0x0B] * 22)
+    salt = bytes(range(13))
+    info = bytes(range(0xF0, 0xFA))
+    prk = hkdf_extract(salt, ikm)
+    assert prk.hex() == (
+        "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    )
+    okm = hkdf_expand(prk, info, 42)
+    assert okm.hex() == (
+        "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865"
+    )
+
+
+def test_hkdf_rfc5869_test_case_3_empty_salt_and_info():
+    ikm = bytes([0x0B] * 22)
+    prk = hkdf_extract(b"", ikm)
+    okm = hkdf_expand(prk, b"", 42)
+    assert okm.hex() == (
+        "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+        "9d201395faa4b61a96c8"
+    )
+
+
+def test_rfc9001_appendix_a_client_initial_keys():
+    """The published RFC 9001 A.1 vectors — proof the key schedule is real."""
+    client, server = derive_initial_keys(QUIC_V1, bytes.fromhex("8394c8f03e515708"))
+    assert client.key.hex() == "1f369613dd76d5467730efcbe3b1a22d"
+    assert client.iv.hex() == "fa044b2f42a3fd3b46fb255c"
+    assert client.hp.hex() == "9f50449e04a0e810283a1e9933adedd2"
+    assert server.key.hex() == "cf3a5331653c364c88f0f379b6067e37"
+
+
+def test_initial_keys_depend_on_version_salt():
+    dcid = bytes.fromhex("8394c8f03e515708")
+    v1_client, _ = derive_initial_keys(QUIC_V1, dcid)
+    d29_client, _ = derive_initial_keys(DRAFT_29, dcid)
+    assert v1_client.key != d29_client.key
+
+
+def test_initial_keys_depend_on_dcid():
+    a, _ = derive_initial_keys(QUIC_V1, b"\x01" * 8)
+    b, _ = derive_initial_keys(QUIC_V1, b"\x02" * 8)
+    assert a.key != b.key
+
+
+def test_expand_label_lengths():
+    secret = b"\xab" * 32
+    assert len(hkdf_expand_label(secret, "quic key", b"", 16)) == 16
+    assert len(hkdf_expand_label(secret, "quic iv", b"", 12)) == 12
+
+
+def test_hkdf_expand_rejects_oversize():
+    with pytest.raises(ValueError):
+        hkdf_expand(b"\x00" * 32, b"", 256 * 32)
+
+
+KEYS = keys_from_secret(b"\x11" * 32)
+
+
+def test_aead_roundtrip():
+    sealed = aead_seal(KEYS, 7, b"aad", b"plaintext")
+    assert len(sealed) == len(b"plaintext") + crypto.AEAD_TAG_LEN
+    assert aead_open(KEYS, 7, b"aad", sealed) == b"plaintext"
+
+
+def test_aead_detects_ciphertext_tampering():
+    sealed = bytearray(aead_seal(KEYS, 7, b"aad", b"plaintext"))
+    sealed[0] ^= 0x01
+    with pytest.raises(DecryptError):
+        aead_open(KEYS, 7, b"aad", bytes(sealed))
+
+
+def test_aead_detects_aad_tampering():
+    sealed = aead_seal(KEYS, 7, b"aad", b"plaintext")
+    with pytest.raises(DecryptError):
+        aead_open(KEYS, 7, b"AAD", sealed)
+
+
+def test_aead_detects_wrong_packet_number():
+    sealed = aead_seal(KEYS, 7, b"aad", b"plaintext")
+    with pytest.raises(DecryptError):
+        aead_open(KEYS, 8, b"aad", sealed)
+
+
+def test_aead_rejects_short_ciphertext():
+    with pytest.raises(DecryptError):
+        aead_open(KEYS, 0, b"", b"\x00" * 8)
+
+
+def test_aead_empty_plaintext():
+    sealed = aead_seal(KEYS, 0, b"hdr", b"")
+    assert len(sealed) == crypto.AEAD_TAG_LEN
+    assert aead_open(KEYS, 0, b"hdr", sealed) == b""
+
+
+@given(st.binary(max_size=256), st.integers(min_value=0, max_value=2**30))
+def test_aead_roundtrip_property(plaintext, pn):
+    sealed = aead_seal(KEYS, pn, b"h", plaintext)
+    assert aead_open(KEYS, pn, b"h", sealed) == plaintext
+
+
+def test_hp_mask_is_deterministic_and_5_bytes():
+    mask = header_protection_mask(b"\x01" * 16, b"\x02" * 16)
+    assert len(mask) == 5
+    assert mask == header_protection_mask(b"\x01" * 16, b"\x02" * 16)
+    assert mask != header_protection_mask(b"\x01" * 16, b"\x03" * 16)
+
+
+def test_hp_mask_rejects_short_sample():
+    with pytest.raises(ValueError):
+        header_protection_mask(b"\x01" * 16, b"\x02" * 8)
+
+
+def test_encode_packet_number_widths():
+    assert len(encode_packet_number(0)) == 1
+    assert len(encode_packet_number(0xAC5C02, 0xABE8B3)) >= 2
+
+
+def test_decode_packet_number_rfc_example():
+    # RFC 9000 A.3: largest 0xa82f30ea, truncated 0x9b32 in 16 bits.
+    assert decode_packet_number(0x9B32, 16, 0xA82F30EA) == 0xA82F9B32
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_pn_roundtrip_with_recent_ack(full_pn):
+    largest_acked = max(-1, full_pn - 5)
+    wire = encode_packet_number(full_pn, largest_acked)
+    decoded = decode_packet_number(
+        int.from_bytes(wire, "big"), len(wire) * 8, full_pn - 1
+    )
+    assert decoded == full_pn

@@ -1,0 +1,155 @@
+"""Tests for QUIC frame serialization and parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quic.frames import (
+    AckFrame,
+    ConnectionCloseFrame,
+    CryptoFrame,
+    FrameParseError,
+    HandshakeDoneFrame,
+    NewConnectionIdFrame,
+    NewTokenFrame,
+    PaddingFrame,
+    PingFrame,
+    StreamFrame,
+    crypto_payload,
+    parse_frames,
+    serialize_frames,
+)
+
+
+def test_padding_run_collapsed():
+    frames = parse_frames(b"\x00" * 37)
+    assert len(frames) == 1
+    assert isinstance(frames[0], PaddingFrame)
+    assert frames[0].length == 37
+
+
+def test_ping_roundtrip():
+    assert isinstance(parse_frames(PingFrame().serialize())[0], PingFrame)
+
+
+def test_ack_roundtrip():
+    wire = AckFrame(largest_acked=1000, ack_delay=25, first_range=3).serialize()
+    frame = parse_frames(wire)[0]
+    assert frame.largest_acked == 1000
+    assert frame.ack_delay == 25
+    assert frame.first_range == 3
+
+
+def test_crypto_roundtrip():
+    wire = CryptoFrame(offset=100, data=b"tls-bytes").serialize()
+    frame = parse_frames(wire)[0]
+    assert frame.offset == 100
+    assert frame.data == b"tls-bytes"
+
+
+def test_new_token_roundtrip():
+    wire = NewTokenFrame(b"\xaa" * 24).serialize()
+    assert parse_frames(wire)[0].token == b"\xaa" * 24
+
+
+def test_stream_roundtrip_with_fin():
+    wire = StreamFrame(stream_id=4, offset=10, data=b"GET /", fin=True).serialize()
+    frame = parse_frames(wire)[0]
+    assert frame.stream_id == 4
+    assert frame.offset == 10
+    assert frame.data == b"GET /"
+    assert frame.fin
+
+
+def test_new_connection_id_roundtrip():
+    wire = NewConnectionIdFrame(
+        sequence=2, retire_prior_to=1, connection_id=b"\x01" * 8, reset_token=b"\x02" * 16
+    ).serialize()
+    frame = parse_frames(wire)[0]
+    assert frame.sequence == 2
+    assert frame.connection_id == b"\x01" * 8
+    assert frame.reset_token == b"\x02" * 16
+
+
+def test_connection_close_transport_and_app():
+    transport = ConnectionCloseFrame(error_code=7, frame_type=6, reason=b"bad").serialize()
+    frame = parse_frames(transport)[0]
+    assert frame.error_code == 7 and not frame.application
+
+    app = ConnectionCloseFrame(error_code=1, reason=b"bye", application=True).serialize()
+    frame = parse_frames(app)[0]
+    assert frame.application and frame.reason == b"bye"
+
+
+def test_handshake_done_roundtrip():
+    assert isinstance(parse_frames(HandshakeDoneFrame().serialize())[0], HandshakeDoneFrame)
+
+
+def test_mixed_sequence_roundtrip():
+    frames = [
+        AckFrame(5),
+        CryptoFrame(0, b"hello"),
+        PingFrame(),
+        PaddingFrame(10),
+    ]
+    parsed = parse_frames(serialize_frames(frames))
+    assert [type(f) for f in parsed] == [AckFrame, CryptoFrame, PingFrame, PaddingFrame]
+
+
+def test_unknown_frame_type_rejected():
+    with pytest.raises(FrameParseError):
+        parse_frames(b"\x21")
+
+
+def test_truncated_crypto_rejected():
+    wire = CryptoFrame(0, b"0123456789").serialize()[:-5]
+    with pytest.raises(FrameParseError):
+        parse_frames(wire)
+
+
+def test_truncated_varint_rejected():
+    with pytest.raises(FrameParseError):
+        parse_frames(b"\x06\xc0")  # CRYPTO with truncated 8-byte varint
+
+
+def test_invalid_new_connection_id_length_rejected():
+    wire = bytearray(
+        NewConnectionIdFrame(0, 0, b"\x01" * 8, b"\x00" * 16).serialize()
+    )
+    wire[3] = 21  # cid length > 20
+    with pytest.raises(FrameParseError):
+        parse_frames(bytes(wire))
+
+
+def test_crypto_payload_reassembly_out_of_order():
+    frames = [CryptoFrame(5, b"world"), CryptoFrame(0, b"hello")]
+    assert crypto_payload(frames) == b"helloworld"
+
+
+def test_crypto_payload_with_gap_keeps_prefix():
+    frames = [CryptoFrame(0, b"abc"), CryptoFrame(10, b"zzz")]
+    assert crypto_payload(frames) == b"abc"
+
+
+@given(st.binary(max_size=512), st.integers(min_value=0, max_value=2**20))
+def test_crypto_frame_roundtrip_property(data, offset):
+    frame = parse_frames(CryptoFrame(offset, data).serialize())[0]
+    assert frame.offset == offset
+    assert frame.data == data
+
+
+@given(st.lists(st.sampled_from(["ping", "done", "pad"]), min_size=1, max_size=30))
+def test_frame_stream_roundtrip_property(kinds):
+    frames = []
+    for kind in kinds:
+        if kind == "ping":
+            frames.append(PingFrame())
+        elif kind == "done":
+            frames.append(HandshakeDoneFrame())
+        else:
+            frames.append(PaddingFrame(3))
+    parsed = parse_frames(serialize_frames(frames))
+    # adjacent padding runs merge; compare non-padding sequence
+    got = [type(f) for f in parsed if not isinstance(f, PaddingFrame)]
+    expected = [type(f) for f in frames if not isinstance(f, PaddingFrame)]
+    assert got == expected

@@ -1,0 +1,160 @@
+"""Tests for packet protection, coalescing and Initial padding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quic import crypto
+from repro.quic.crypto import DecryptError, derive_initial_keys
+from repro.quic.frames import CryptoFrame, PaddingFrame, PingFrame
+from repro.quic.header import HeaderParseError, LongHeader, PacketType
+from repro.quic.packet import (
+    MIN_INITIAL_DATAGRAM,
+    PlainPacket,
+    build_datagram,
+    protect_packet,
+    split_datagram,
+    unprotect_initial,
+)
+from repro.quic.versions import QUIC_V1
+
+DCID = b"\x83\x94\xc8\xf0\x3e\x51\x57\x08"
+SCID = b"\x11" * 8
+CLIENT_KEYS, SERVER_KEYS = derive_initial_keys(QUIC_V1, DCID)
+
+
+def _initial(frames, pn=0, token=b""):
+    return PlainPacket(
+        header=LongHeader(
+            packet_type=PacketType.INITIAL,
+            version=QUIC_V1.value,
+            dcid=DCID,
+            scid=SCID,
+            token=token,
+        ),
+        packet_number=pn,
+        frames=frames,
+    )
+
+
+def test_protect_unprotect_roundtrip():
+    plain = _initial([CryptoFrame(0, b"client hello bytes")], pn=3)
+    wire = protect_packet(plain, CLIENT_KEYS)
+    view = split_datagram(wire)[0]
+    pn, frames = unprotect_initial(wire, view, CLIENT_KEYS)
+    assert pn == 3
+    assert isinstance(frames[0], CryptoFrame)
+    assert frames[0].data == b"client hello bytes"
+
+
+def test_header_protection_hides_pn_bits():
+    plain = _initial([CryptoFrame(0, b"x" * 50)], pn=0)
+    wire = protect_packet(plain, CLIENT_KEYS)
+    # The two low bits of the protected first byte should not reliably
+    # equal pn_len-1=0 — flipping keys must break decryption anyway:
+    other_keys, _ = derive_initial_keys(QUIC_V1, b"\x00" * 8)
+    view = split_datagram(wire)[0]
+    with pytest.raises(DecryptError):
+        unprotect_initial(wire, view, other_keys)
+
+
+def test_packet_type_readable_without_keys():
+    wire = protect_packet(_initial([PingFrame()]), CLIENT_KEYS)
+    view = split_datagram(wire)[0]
+    assert view.packet_type is PacketType.INITIAL
+    assert view.dcid == DCID
+    assert view.scid == SCID
+
+
+def test_tiny_payload_padded_for_sample():
+    wire = protect_packet(_initial([PingFrame()]), CLIENT_KEYS)
+    view = split_datagram(wire)[0]
+    pn, frames = unprotect_initial(wire, view, CLIENT_KEYS)
+    assert any(isinstance(f, PingFrame) for f in frames)
+
+
+def test_build_datagram_pads_initial_to_1200():
+    wire = build_datagram(
+        [(_initial([CryptoFrame(0, b"small")]), CLIENT_KEYS)],
+        pad_to=MIN_INITIAL_DATAGRAM,
+    )
+    assert len(wire) == MIN_INITIAL_DATAGRAM
+    view = split_datagram(wire)[0]
+    pn, frames = unprotect_initial(wire, view, CLIENT_KEYS)
+    assert any(isinstance(f, PaddingFrame) for f in frames)
+    assert any(isinstance(f, CryptoFrame) for f in frames)
+
+
+def test_build_datagram_does_not_pad_large_enough():
+    wire = build_datagram(
+        [(_initial([CryptoFrame(0, b"z" * 1500)]), CLIENT_KEYS)],
+        pad_to=MIN_INITIAL_DATAGRAM,
+    )
+    assert len(wire) > MIN_INITIAL_DATAGRAM
+
+
+def test_build_datagram_empty_rejected():
+    with pytest.raises(ValueError):
+        build_datagram([])
+
+
+def test_coalesced_datagram_split():
+    handshake = PlainPacket(
+        header=LongHeader(
+            packet_type=PacketType.HANDSHAKE,
+            version=QUIC_V1.value,
+            dcid=b"",
+            scid=SCID,
+        ),
+        packet_number=0,
+        frames=[CryptoFrame(0, b"handshake data")],
+    )
+    wire = build_datagram(
+        [(_initial([CryptoFrame(0, b"sh")]), SERVER_KEYS), (handshake, SERVER_KEYS)]
+    )
+    views = split_datagram(wire)
+    assert [v.packet_type for v in views] == [PacketType.INITIAL, PacketType.HANDSHAKE]
+    assert views[0].end == views[1].start
+    # Each packet decrypts independently.
+    pn0, _ = unprotect_initial(wire, views[0], SERVER_KEYS)
+    pn1, frames1 = unprotect_initial(wire, views[1], SERVER_KEYS)
+    assert frames1[0].data == b"handshake data"
+
+
+def test_split_rejects_garbage_tail():
+    wire = protect_packet(_initial([CryptoFrame(0, b"ok")]), CLIENT_KEYS)
+    with pytest.raises(HeaderParseError):
+        split_datagram(wire + b"\x00\x01\x02")
+
+
+def test_aad_binds_header_tamper_detected():
+    wire = bytearray(protect_packet(_initial([CryptoFrame(0, b"ok" * 30)]), CLIENT_KEYS))
+    wire[1] ^= 0xFF  # flip a version byte
+    views = None
+    try:
+        views = split_datagram(bytes(wire))
+    except HeaderParseError:
+        return  # also acceptable: header no longer parses
+    with pytest.raises((DecryptError, HeaderParseError, ValueError)):
+        unprotect_initial(bytes(wire), views[0], CLIENT_KEYS)
+
+
+def test_initial_with_token_roundtrip():
+    plain = _initial([CryptoFrame(0, b"again")], token=b"retry-token-xyz")
+    wire = protect_packet(plain, CLIENT_KEYS)
+    view = split_datagram(wire)[0]
+    assert view.token == b"retry-token-xyz"
+    _pn, frames = unprotect_initial(wire, view, CLIENT_KEYS)
+    assert frames[0].data == b"again"
+
+
+@settings(max_examples=25)
+@given(st.binary(min_size=0, max_size=600), st.integers(min_value=0, max_value=1000))
+def test_roundtrip_property(payload, pn):
+    plain = _initial([CryptoFrame(0, payload)], pn=pn)
+    wire = protect_packet(plain, CLIENT_KEYS)
+    view = split_datagram(wire)[0]
+    got_pn, frames = unprotect_initial(wire, view, CLIENT_KEYS, largest_pn=pn - 1)
+    assert got_pn == pn
+    crypto_frames = [f for f in frames if isinstance(f, CryptoFrame)]
+    assert crypto_frames[0].data == payload

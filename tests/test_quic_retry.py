@@ -1,0 +1,112 @@
+"""Tests for Retry tokens and integrity tags."""
+
+import pytest
+
+from repro.quic.header import RetryPacket, parse_header
+from repro.quic.retry import (
+    RetryTokenError,
+    RetryTokenMinter,
+    build_retry_packet,
+    retry_integrity_tag,
+    verify_retry_packet,
+)
+from repro.quic.versions import QUIC_V1
+
+CLIENT_IP = 0xC0A80101
+CLIENT_PORT = 50123
+ODCID = b"\xaa" * 8
+
+
+@pytest.fixture
+def minter():
+    return RetryTokenMinter(secret=b"\x42" * 32, lifetime=30.0)
+
+
+def test_mint_validate_roundtrip(minter):
+    token = minter.mint(CLIENT_IP, CLIENT_PORT, ODCID, now=1000.0)
+    assert minter.validate(token, CLIENT_IP, CLIENT_PORT, now=1005.0) == ODCID
+
+
+def test_token_bound_to_ip(minter):
+    token = minter.mint(CLIENT_IP, CLIENT_PORT, ODCID, now=1000.0)
+    with pytest.raises(RetryTokenError):
+        minter.validate(token, CLIENT_IP + 1, CLIENT_PORT, now=1005.0)
+
+
+def test_token_bound_to_port(minter):
+    token = minter.mint(CLIENT_IP, CLIENT_PORT, ODCID, now=1000.0)
+    with pytest.raises(RetryTokenError):
+        minter.validate(token, CLIENT_IP, CLIENT_PORT + 1, now=1005.0)
+
+
+def test_token_expires(minter):
+    token = minter.mint(CLIENT_IP, CLIENT_PORT, ODCID, now=1000.0)
+    with pytest.raises(RetryTokenError):
+        minter.validate(token, CLIENT_IP, CLIENT_PORT, now=1031.0)
+
+
+def test_token_from_future_rejected(minter):
+    token = minter.mint(CLIENT_IP, CLIENT_PORT, ODCID, now=1000.0)
+    with pytest.raises(RetryTokenError):
+        minter.validate(token, CLIENT_IP, CLIENT_PORT, now=990.0)
+
+
+def test_token_tamper_detected(minter):
+    token = bytearray(minter.mint(CLIENT_IP, CLIENT_PORT, ODCID, now=1000.0))
+    token[-1] ^= 0x01
+    with pytest.raises(RetryTokenError):
+        minter.validate(bytes(token), CLIENT_IP, CLIENT_PORT, now=1001.0)
+
+
+def test_token_wrong_minter_rejected(minter):
+    other = RetryTokenMinter(secret=b"\x43" * 32)
+    token = minter.mint(CLIENT_IP, CLIENT_PORT, ODCID, now=1000.0)
+    with pytest.raises(RetryTokenError):
+        other.validate(token, CLIENT_IP, CLIENT_PORT, now=1001.0)
+
+
+def test_short_token_rejected(minter):
+    with pytest.raises(RetryTokenError):
+        minter.validate(b"\x00" * 4, CLIENT_IP, CLIENT_PORT, now=0.0)
+
+
+def test_length_mismatch_rejected(minter):
+    token = minter.mint(CLIENT_IP, CLIENT_PORT, ODCID, now=1000.0)
+    with pytest.raises(RetryTokenError):
+        minter.validate(token + b"\x00", CLIENT_IP, CLIENT_PORT, now=1001.0)
+
+
+def test_retry_packet_build_and_verify(minter):
+    token = minter.mint(CLIENT_IP, CLIENT_PORT, ODCID, now=0.0)
+    wire = build_retry_packet(
+        version=QUIC_V1.value, dcid=b"\x01" * 8, scid=b"\x02" * 8, odcid=ODCID, token=token
+    )
+    view = parse_header(wire)
+    assert isinstance(view, RetryPacket)
+    assert verify_retry_packet(view, ODCID)
+
+
+def test_retry_tag_bound_to_odcid():
+    wire = build_retry_packet(
+        version=QUIC_V1.value, dcid=b"\x01" * 8, scid=b"\x02" * 8, odcid=ODCID, token=b"t"
+    )
+    view = parse_header(wire)
+    assert not verify_retry_packet(view, b"\xbb" * 8)
+
+
+def test_retry_tag_bound_to_contents():
+    wire = bytearray(
+        build_retry_packet(
+            version=QUIC_V1.value, dcid=b"\x01" * 8, scid=b"\x02" * 8, odcid=ODCID, token=b"t"
+        )
+    )
+    wire[10] ^= 0xFF  # corrupt a CID byte
+    view = parse_header(bytes(wire))
+    assert not verify_retry_packet(view, ODCID)
+
+
+def test_integrity_tag_deterministic():
+    tag1 = retry_integrity_tag(QUIC_V1.value, ODCID, b"retry-body")
+    tag2 = retry_integrity_tag(QUIC_V1.value, ODCID, b"retry-body")
+    assert tag1 == tag2 and len(tag1) == 16
+    assert retry_integrity_tag(QUIC_V1.value, ODCID, b"other") != tag1

@@ -1,0 +1,98 @@
+"""Tests for the minimal TLS 1.3 handshake messages."""
+
+import pytest
+
+from repro.util.rng import SeededRng
+from repro.quic import tls
+
+
+def _hello(**kwargs):
+    defaults = dict(random=bytes(32), server_name="www.example.org")
+    defaults.update(kwargs)
+    return tls.ClientHello(**defaults)
+
+
+def test_client_hello_roundtrip():
+    hello = _hello(alpn=("h3", "h3-29"), session_id=b"\x07" * 16)
+    parsed = tls.ClientHello.parse(hello.serialize())
+    assert parsed.server_name == "www.example.org"
+    assert parsed.alpn == ("h3", "h3-29")
+    assert parsed.session_id == b"\x07" * 16
+    assert tls.TLS_AES_128_GCM_SHA256 in parsed.cipher_suites
+
+
+def test_client_hello_without_sni():
+    parsed = tls.ClientHello.parse(_hello(server_name=None).serialize())
+    assert parsed.server_name is None
+
+
+def test_client_hello_transport_parameters_carried():
+    parsed = tls.ClientHello.parse(
+        _hello(transport_parameters=b"\x05\x04abcd").serialize()
+    )
+    assert parsed.transport_parameters == b"\x05\x04abcd"
+
+
+def test_client_hello_parse_rejects_server_hello():
+    sh = tls.ServerHello(random=bytes(32)).serialize()
+    with pytest.raises(tls.TlsParseError):
+        tls.ClientHello.parse(sh)
+
+
+def test_client_hello_parse_rejects_truncated():
+    wire = _hello().serialize()
+    with pytest.raises(tls.TlsParseError):
+        tls.ClientHello.parse(wire[: len(wire) // 2])
+
+
+def test_server_hello_roundtrip():
+    sh = tls.ServerHello(random=b"\x01" * 32, session_id=b"\x02" * 8)
+    parsed = tls.ServerHello.parse(sh.serialize())
+    assert parsed.random == b"\x01" * 32
+    assert parsed.session_id == b"\x02" * 8
+    assert parsed.cipher_suite == tls.TLS_AES_128_GCM_SHA256
+
+
+def test_server_hello_parse_rejects_client_hello():
+    with pytest.raises(tls.TlsParseError):
+        tls.ServerHello.parse(_hello().serialize())
+
+
+def test_server_flight_sizes_scale_with_certificate():
+    rng = SeededRng(1)
+    small = tls.build_server_flight(rng.child("a"), cert_chain_len=800)
+    large = tls.build_server_flight(rng.child("b"), cert_chain_len=3000)
+    assert len(large.certificate) - len(small.certificate) == 2200
+    assert len(small.handshake_payload) > 800
+
+
+def test_server_flight_contains_all_messages():
+    flight = tls.build_server_flight(SeededRng(2))
+    payload = flight.handshake_payload
+    # walk message headers
+    types = []
+    offset = 0
+    while offset + 4 <= len(payload):
+        types.append(payload[offset])
+        offset += 4 + int.from_bytes(payload[offset + 1 : offset + 4], "big")
+    assert types == [
+        tls.ENCRYPTED_EXTENSIONS,
+        tls.CERTIFICATE,
+        tls.CERTIFICATE_VERIFY,
+        tls.FINISHED,
+    ]
+    assert offset == len(payload)
+
+
+def test_looks_like_client_hello():
+    assert tls.looks_like_client_hello(_hello().serialize())
+    assert not tls.looks_like_client_hello(b"\x16\x03\x01")
+    assert not tls.looks_like_client_hello(b"")
+    assert not tls.looks_like_client_hello(SeededRng(3).randbytes(200))
+
+
+def test_client_hello_padded_sizes_realistic():
+    # A typical CH with SNI and ALPN lands in the 150-400 byte range
+    # before QUIC-level padding.
+    wire = _hello(transport_parameters=bytes(64)).serialize()
+    assert 150 <= len(wire) <= 400

@@ -1,0 +1,233 @@
+"""Tests for session resumption: NEW_TOKEN, tickets, 0-RTT, short headers.
+
+Section 6 of the paper argues RETRY's round-trip penalty "could be
+alleviated by the session resumption feature in QUIC"; these tests
+exercise exactly that path.
+"""
+
+import pytest
+
+from repro.util.rng import SeededRng
+from repro.quic import tls
+from repro.quic.connection import ClientConnection, ServerConnection
+from repro.quic.crypto import DecryptError, keys_from_secret
+from repro.quic.frames import CryptoFrame, NewTokenFrame, PingFrame
+from repro.quic.packet import protect_short_packet, unprotect_short_packet
+from repro.quic.resumption import ResumptionState, SessionCache, early_data_keys
+from repro.quic.versions import QUIC_V1
+
+
+def run_handshake(client, server, ip=0x0A000001, port=5555, now=100.0, rounds=8):
+    pending = [client.initial_datagram()]
+    for _ in range(rounds):
+        if not pending:
+            break
+        nxt = []
+        for datagram in pending:
+            for response in server.handle_datagram(datagram, ip, port, now=now):
+                for reply in client.handle_datagram(response.data):
+                    nxt.append(reply.data)
+        pending = nxt
+    return client.result()
+
+
+@pytest.fixture
+def rng():
+    return SeededRng(2024)
+
+
+# -- short header protection ------------------------------------------------
+
+
+def test_short_packet_roundtrip():
+    keys = keys_from_secret(b"\x07" * 32)
+    wire = protect_short_packet(b"\xaa" * 8, 5, [PingFrame()], keys)
+    pn, frames = unprotect_short_packet(wire, 8, keys)
+    assert pn == 5
+    assert any(isinstance(f, PingFrame) for f in frames)
+
+
+def test_short_packet_wrong_keys_rejected():
+    keys = keys_from_secret(b"\x07" * 32)
+    other = keys_from_secret(b"\x08" * 32)
+    wire = protect_short_packet(b"\xaa" * 8, 0, [PingFrame()], keys)
+    with pytest.raises(DecryptError):
+        unprotect_short_packet(wire, 8, other)
+
+
+def test_short_packet_dcid_on_wire():
+    keys = keys_from_secret(b"\x07" * 32)
+    wire = protect_short_packet(b"\xaa" * 8, 0, [PingFrame()], keys)
+    assert wire[1:9] == b"\xaa" * 8
+    assert wire[0] & 0x80 == 0  # short form
+
+
+def test_short_packet_too_small_rejected():
+    keys = keys_from_secret(b"\x07" * 32)
+    with pytest.raises(Exception):
+        unprotect_short_packet(b"\x40\x01\x02", 8, keys)
+
+
+# -- ticket message ------------------------------------------------------
+
+
+def test_new_session_ticket_roundtrip():
+    nst = tls.NewSessionTicket(ticket=b"\x42" * 48, lifetime=7200, nonce=b"\x01\x02")
+    parsed = tls.NewSessionTicket.parse(nst.serialize())
+    assert parsed.ticket == b"\x42" * 48
+    assert parsed.lifetime == 7200
+    assert parsed.nonce == b"\x01\x02"
+
+
+def test_new_session_ticket_rejects_other_messages():
+    with pytest.raises(tls.TlsParseError):
+        tls.NewSessionTicket.parse(tls.ServerHello(random=bytes(32)).serialize())
+
+
+def test_client_hello_psk_identity_roundtrip():
+    hello = tls.ClientHello(random=bytes(32), psk_identity=b"ticket-blob")
+    parsed = tls.ClientHello.parse(hello.serialize())
+    assert parsed.psk_identity == b"ticket-blob"
+    plain = tls.ClientHello.parse(tls.ClientHello(random=bytes(32)).serialize())
+    assert plain.psk_identity is None
+
+
+# -- session cache ---------------------------------------------------------
+
+
+def _state(name="a.example", token=b"t", ticket=b"s"):
+    return ResumptionState(name, QUIC_V1, token, ticket)
+
+
+def test_session_cache_store_lookup():
+    cache = SessionCache()
+    cache.store(_state())
+    assert cache.lookup("a.example").address_token == b"t"
+    assert cache.lookup("other.example") is None
+
+
+def test_session_cache_eviction():
+    cache = SessionCache(max_entries=2)
+    cache.store(_state("a"))
+    cache.store(_state("b"))
+    cache.store(_state("c"))
+    assert len(cache) == 2
+    assert cache.lookup("a") is None
+    assert cache.lookup("c") is not None
+
+
+def test_session_cache_update_in_place():
+    cache = SessionCache(max_entries=1)
+    cache.store(_state("a", token=b"1"))
+    cache.store(_state("a", token=b"2"))
+    assert cache.lookup("a").address_token == b"2"
+
+
+def test_session_cache_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        SessionCache(max_entries=0)
+
+
+def test_early_data_keys_deterministic():
+    assert early_data_keys(b"tkt") == early_data_keys(b"tkt")
+    assert early_data_keys(b"tkt") != early_data_keys(b"other")
+    with pytest.raises(ValueError):
+        early_data_keys(b"")
+
+
+# -- end-to-end resumption ------------------------------------------------
+
+
+def test_first_connection_collects_session_state(rng):
+    cache = SessionCache()
+    server = ServerConnection(rng.child("s"))
+    client = ClientConnection(rng.child("c"), server_name="x.example", session_cache=cache)
+    result = run_handshake(client, server)
+    assert result.completed
+    assert client.address_token
+    assert client.session_ticket
+    assert client.handshake_confirmed
+    assert cache.lookup("x.example") is not None
+    assert server.stats["tokens_issued"] == 1
+
+
+def test_resumption_skips_retry_round_trip(rng):
+    cache = SessionCache()
+    server = ServerConnection(rng.child("s"), retry_enabled=True)
+    first = ClientConnection(rng.child("c1"), server_name="x.example", session_cache=cache)
+    r1 = run_handshake(first, server)
+    assert r1.retries_seen == 1 and r1.round_trips == 2
+
+    second = ClientConnection(
+        rng.child("c2"),
+        server_name="x.example",
+        resumption=cache.lookup("x.example"),
+    )
+    r2 = run_handshake(second, server)
+    assert r2.completed
+    assert r2.retries_seen == 0
+    assert r2.round_trips == 1  # the RETRY penalty is gone
+
+
+def test_zero_rtt_early_data_delivered(rng):
+    cache = SessionCache()
+    server = ServerConnection(rng.child("s"))
+    first = ClientConnection(rng.child("c1"), server_name="x.example", session_cache=cache)
+    run_handshake(first, server)
+
+    second = ClientConnection(
+        rng.child("c2"),
+        server_name="x.example",
+        resumption=cache.lookup("x.example"),
+        early_data=b"GET /index.html",
+    )
+    result = run_handshake(second, server)
+    assert result.completed and result.used_0rtt
+    assert server.stats["zero_rtt_accepted"] == 1
+    received = [s.get("early_data") for s in server.connections.values()]
+    assert b"GET /index.html" in received
+
+
+def test_early_data_requires_ticket(rng):
+    client = ClientConnection(rng.child("c"), early_data=b"too early")
+    assert client.early_data is None  # no ticket, no 0-RTT
+    assert not client.used_0rtt
+
+
+def test_stale_ticket_falls_back_to_full_handshake(rng):
+    cache = SessionCache()
+    server = ServerConnection(rng.child("s"))
+    first = ClientConnection(rng.child("c1"), server_name="x.example", session_cache=cache)
+    run_handshake(first, server)
+    state = cache.lookup("x.example")
+    forged = ResumptionState(
+        state.server_name, state.version, state.address_token, b"\x00" * len(state.session_ticket)
+    )
+    second = ClientConnection(
+        rng.child("c2"), server_name="x.example", resumption=forged, early_data=b"x"
+    )
+    result = run_handshake(second, server)
+    assert result.completed  # full handshake still works
+    assert server.stats["zero_rtt_accepted"] == 0  # early data rejected
+
+
+def test_address_token_rejected_from_other_ip(rng):
+    cache = SessionCache()
+    server = ServerConnection(rng.child("s"), retry_enabled=True)
+    first = ClientConnection(rng.child("c1"), server_name="x.example", session_cache=cache)
+    run_handshake(first, server, ip=111)
+    second = ClientConnection(
+        rng.child("c2"), server_name="x.example", resumption=cache.lookup("x.example")
+    )
+    # token was minted for ip=111; replay from ip=222 must be dropped
+    responses = server.handle_datagram(second.initial_datagram(), 222, 5555, now=100.0)
+    assert responses == []
+
+
+def test_server_can_disable_session_issuance(rng):
+    server = ServerConnection(rng.child("s"), issue_session_state=False)
+    client = ClientConnection(rng.child("c"), server_name="x.example")
+    result = run_handshake(client, server)
+    assert result.completed
+    assert not client.session_ticket
+    assert server.stats["tokens_issued"] == 0

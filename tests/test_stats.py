@@ -1,0 +1,91 @@
+"""Tests for percentiles, summaries and empirical CDFs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import EmpiricalCdf, median, percentile, summarize
+
+
+def test_percentile_interpolates():
+    assert percentile([1, 2, 3, 4], 50) == 2.5
+    assert percentile([1, 2, 3, 4], 0) == 1
+    assert percentile([1, 2, 3, 4], 100) == 4
+
+
+def test_percentile_single_value():
+    assert percentile([42], 73) == 42.0
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_median_odd():
+    assert median([5, 1, 9]) == 5
+
+
+def test_summarize_fields():
+    s = summarize([4, 1, 3, 2])
+    assert s.count == 4
+    assert s.minimum == 1
+    assert s.maximum == 4
+    assert s.mean == 2.5
+    assert s.median == 2.5
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_cdf_fraction_at_most():
+    cdf = EmpiricalCdf([1, 1, 2, 4])
+    assert cdf.fraction_at_most(0) == 0.0
+    assert cdf.fraction_at_most(1) == 0.5
+    assert cdf.fraction_at_most(2) == 0.75
+    assert cdf.fraction_at_most(4) == 1.0
+    assert cdf.fraction_at_most(100) == 1.0
+
+
+def test_cdf_quantile():
+    cdf = EmpiricalCdf([1, 1, 2, 4])
+    assert cdf.quantile(0.5) == 1
+    assert cdf.quantile(0.75) == 2
+    assert cdf.quantile(1.0) == 4
+
+
+def test_cdf_quantile_bounds():
+    cdf = EmpiricalCdf([1])
+    with pytest.raises(ValueError):
+        cdf.quantile(0.0)
+    with pytest.raises(ValueError):
+        cdf.quantile(1.5)
+
+
+def test_cdf_steps_thinning():
+    cdf = EmpiricalCdf(range(1000))
+    steps = cdf.steps(max_points=50)
+    assert len(steps) <= 51
+    assert steps[-1] == (999.0, 1.0)
+
+
+@given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=200))
+def test_cdf_is_monotone_and_ends_at_one(values):
+    cdf = EmpiricalCdf(values)
+    fractions = [f for _v, f in cdf.steps()]
+    assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+    assert fractions[-1] == 1.0
+
+
+@given(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100),
+    st.floats(min_value=0.01, max_value=1.0),
+)
+def test_quantile_consistent_with_fraction(values, q):
+    cdf = EmpiricalCdf(values)
+    v = cdf.quantile(q)
+    assert cdf.fraction_at_most(v) >= q - 1e-9

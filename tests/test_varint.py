@@ -1,0 +1,102 @@
+"""Tests for QUIC variable-length integers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.varint import (
+    MAX_VARINT,
+    VarintError,
+    decode_varint,
+    encode_varint,
+    varint_length,
+)
+
+# RFC 9000 §A.1 worked examples.
+RFC_EXAMPLES = [
+    (151288809941952652, bytes.fromhex("c2197c5eff14e88c")),
+    (494878333, bytes.fromhex("9d7f3e7d")),
+    (15293, bytes.fromhex("7bbd")),
+    (37, bytes.fromhex("25")),
+]
+
+
+@pytest.mark.parametrize("value,wire", RFC_EXAMPLES)
+def test_rfc9000_encode_examples(value, wire):
+    assert encode_varint(value) == wire
+
+
+@pytest.mark.parametrize("value,wire", RFC_EXAMPLES)
+def test_rfc9000_decode_examples(value, wire):
+    decoded, offset = decode_varint(wire)
+    assert decoded == value
+    assert offset == len(wire)
+
+
+def test_two_byte_encoding_of_small_value():
+    # RFC 9000: 37 can also be encoded in two bytes as 0x4025.
+    assert encode_varint(37, length=2) == bytes.fromhex("4025")
+    assert decode_varint(bytes.fromhex("4025"))[0] == 37
+
+
+def test_length_boundaries():
+    assert varint_length(63) == 1
+    assert varint_length(64) == 2
+    assert varint_length(16383) == 2
+    assert varint_length(16384) == 4
+    assert varint_length(1073741823) == 4
+    assert varint_length(1073741824) == 8
+    assert varint_length(MAX_VARINT) == 8
+
+
+def test_negative_rejected():
+    with pytest.raises(VarintError):
+        encode_varint(-1)
+
+
+def test_too_large_rejected():
+    with pytest.raises(VarintError):
+        encode_varint(MAX_VARINT + 1)
+
+
+def test_forced_length_too_small_rejected():
+    with pytest.raises(VarintError):
+        encode_varint(300, length=1)
+
+
+def test_invalid_forced_length_rejected():
+    with pytest.raises(VarintError):
+        encode_varint(1, length=3)
+
+
+def test_truncated_decode_rejected():
+    with pytest.raises(VarintError):
+        decode_varint(b"")
+    with pytest.raises(VarintError):
+        decode_varint(bytes.fromhex("c2197c"))  # 8-byte prefix, 3 bytes given
+
+
+def test_decode_respects_offset():
+    data = b"\xff" + encode_varint(15293)
+    value, offset = decode_varint(data, 1)
+    assert value == 15293
+    assert offset == 3
+
+
+@given(st.integers(min_value=0, max_value=MAX_VARINT))
+def test_roundtrip(value):
+    wire = encode_varint(value)
+    decoded, offset = decode_varint(wire)
+    assert decoded == value
+    assert offset == len(wire) == varint_length(value)
+
+
+@given(st.integers(min_value=0, max_value=MAX_VARINT), st.sampled_from([1, 2, 4, 8]))
+def test_roundtrip_forced_width(value, width):
+    if varint_length(value) > width:
+        with pytest.raises(VarintError):
+            encode_varint(value, length=width)
+        return
+    wire = encode_varint(value, length=width)
+    assert len(wire) == width
+    assert decode_varint(wire)[0] == value

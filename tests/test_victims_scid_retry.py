@@ -1,0 +1,185 @@
+"""Tests for victim attribution, SCID fingerprinting and the RETRY audit."""
+
+import pytest
+
+from repro.net.addresses import parse_ipv4
+from repro.util.rng import SeededRng
+from repro.internet.activescan import ActiveScanCensus, QuicServerRecord
+from repro.internet.asn import AsRegistry, NetworkType
+from repro.net.addresses import IPv4Network
+from repro.core.dos import FloodAttack
+from repro.core.retry_audit import ActiveProber, audit_retry
+from repro.core.scid import fingerprint_attacks, provider_profiles
+from repro.core.sessions import Session
+from repro.core.victims import analyze_victims, session_network_types
+
+GOOGLE_IP = parse_ipv4("8.8.4.4")
+FB_IP = parse_ipv4("31.13.1.1")
+UNKNOWN_IP = parse_ipv4("203.0.113.77")
+
+
+@pytest.fixture
+def census():
+    return ActiveScanCensus(
+        [
+            QuicServerRecord(GOOGLE_IP, 15169, "Google", ("draft-29",), "g.example"),
+            QuicServerRecord(FB_IP, 32934, "Facebook", ("mvfst-draft-27",), "f.example"),
+        ]
+    )
+
+
+def make_attack(victim, start=0.0, end=255.0, scids=3, ips=2, ports=5, packets=60):
+    session = Session(
+        source=victim,
+        traffic_class="quic-response",
+        first_ts=start,
+        last_ts=end,
+        packet_count=packets,
+    )
+    session.dst_ips = set(range(ips))
+    session.dst_ports = set(range(ports))
+    session.scids = {bytes([i] * 8) for i in range(scids)}
+    session.version_names = {"draft-29": packets}
+    return FloodAttack(
+        victim_ip=victim,
+        vector="quic",
+        start=start,
+        end=end,
+        packet_count=packets,
+        max_pps=1.0,
+        session=session,
+    )
+
+
+# -- victims ------------------------------------------------------------
+
+
+def test_analyze_victims_counts(census):
+    attacks = [
+        make_attack(GOOGLE_IP),
+        make_attack(GOOGLE_IP, start=1000, end=1300),
+        make_attack(FB_IP),
+        make_attack(UNKNOWN_IP),
+    ]
+    analysis = analyze_victims(attacks, census)
+    assert analysis.attack_count == 4
+    assert analysis.victim_count == 3
+    assert analysis.known_server_share == 0.75
+    assert analysis.provider_share("Google") == 0.5
+    assert analysis.provider_share("Facebook") == 0.25
+    assert analysis.single_attack_victim_share == pytest.approx(2 / 3)
+    assert analysis.attacks_per_victim_sorted() == [2, 1, 1]
+    assert analysis.top_victims(1) == [(GOOGLE_IP, 2)]
+
+
+def test_analyze_victims_empty(census):
+    analysis = analyze_victims([], census)
+    assert analysis.known_server_share == 0.0
+    assert analysis.single_attack_victim_share == 0.0
+
+
+def test_analyze_victims_network_types(census):
+    registry = AsRegistry()
+    registry.register(
+        15169, "Google", NetworkType.CONTENT,
+        prefixes=[IPv4Network.from_cidr("8.8.4.0/24")],
+    )
+    analysis = analyze_victims([make_attack(GOOGLE_IP)], census, registry)
+    assert analysis.network_type_attacks == {NetworkType.CONTENT: 1}
+
+
+def test_session_network_types():
+    registry = AsRegistry()
+    registry.register(
+        1, "eyeball", NetworkType.EYEBALL,
+        prefixes=[IPv4Network.from_cidr("10.0.0.0/8")],
+    )
+    sessions = [
+        Session(parse_ipv4("10.1.1.1"), "quic-request", 0.0, 1.0),
+        Session(parse_ipv4("10.2.2.2"), "quic-request", 0.0, 1.0),
+        Session(parse_ipv4("99.9.9.9"), "quic-request", 0.0, 1.0),
+    ]
+    counts = session_network_types(sessions, registry)
+    assert counts[NetworkType.EYEBALL] == 2
+    assert counts[NetworkType.UNKNOWN] == 1
+
+
+# -- scid fingerprints ---------------------------------------------------
+
+
+def test_fingerprint_attacks(census):
+    fingerprints = fingerprint_attacks([make_attack(GOOGLE_IP, scids=7, ips=3, ports=9)], census)
+    fp = fingerprints[0]
+    assert fp.provider == "Google"
+    assert fp.unique_scids == 7
+    assert fp.unique_client_ips == 3
+    assert fp.unique_client_ports == 9
+    assert fp.version_mix == {"draft-29": 60}
+
+
+def test_provider_profiles(census):
+    attacks = [
+        make_attack(GOOGLE_IP, scids=10),
+        make_attack(GOOGLE_IP, scids=20),
+        make_attack(FB_IP, scids=2),
+        make_attack(UNKNOWN_IP),
+    ]
+    profiles = provider_profiles(fingerprint_attacks(attacks, census))
+    assert profiles["Google"].attack_count == 2
+    assert profiles["Google"].median("unique_scids") == 15
+    assert profiles["Facebook"].median("unique_scids") == 2
+    assert "unknown" in profiles
+    name, share = profiles["Google"].dominant_version()
+    assert name == "draft-29" and share == 1.0
+
+
+# -- retry audit ------------------------------------------------------------
+
+
+def test_active_probe_no_retry(census):
+    prober = ActiveProber(census, SeededRng(1))
+    result = prober.probe(GOOGLE_IP)
+    assert result is not None
+    assert result.handshake_completed
+    assert not result.retry_received
+    assert result.provider == "Google"
+
+
+def test_active_probe_unknown_address(census):
+    assert ActiveProber(census, SeededRng(1)).probe(UNKNOWN_IP) is None
+
+
+def test_active_probe_detects_retry_when_deployed():
+    census = ActiveScanCensus(
+        [
+            QuicServerRecord(
+                GOOGLE_IP, 15169, "Google", ("v1",), "g.example",
+                supports_retry=True, sends_retry=True,
+            )
+        ]
+    )
+    result = ActiveProber(census, SeededRng(2)).probe(GOOGLE_IP)
+    assert result.retry_received
+    assert result.handshake_completed
+    assert result.round_trips >= 2
+
+
+def test_audit_combines_passive_and_active(census):
+    audit = audit_retry(
+        census=census,
+        rng=SeededRng(3),
+        passive_retry_packets=0,
+        passive_quic_packets=1000,
+        top_victims=[(GOOGLE_IP, 5), (FB_IP, 2), (UNKNOWN_IP, 1)],
+    )
+    assert len(audit.probes) == 2  # unknown victim skipped
+    assert not audit.retry_deployed
+    audit_positive = audit_retry(
+        census=census,
+        rng=SeededRng(3),
+        passive_retry_packets=3,
+        passive_quic_packets=1000,
+        top_victims=[],
+    )
+    assert audit_positive.retry_observed_passively
+    assert audit_positive.retry_deployed
