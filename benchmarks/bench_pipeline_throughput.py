@@ -2,34 +2,101 @@
 
 Not a paper figure — an engineering benchmark guarding the streaming
 pipeline's performance (the paper processed 92M packets; regression
-here makes full-scale runs impractical).
+here makes full-scale runs impractical).  Measures both the serial
+path and the source-sharded parallel path (``workers=4``), reports the
+dissector-cache hit rate, and appends the rates to the
+``benchmarks/out/BENCH_pipeline.json`` trajectory so speedups are
+tracked across revisions.
 """
 
-from repro.core import QuicsandPipeline
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core import AnalysisConfig, QuicsandPipeline
 from repro.telescope import Scenario, ScenarioConfig
 from repro.util.timeutil import HOUR
+
+PARALLEL_WORKERS = 4
+TRAJECTORY = Path(__file__).parent / "out" / "BENCH_pipeline.json"
+
+
+def _run(scenario, packets, workers):
+    pipeline = QuicsandPipeline(
+        registry=scenario.internet.registry,
+        census=scenario.internet.census,
+        greynoise=scenario.internet.greynoise,
+        config=AnalysisConfig(workers=workers),
+    )
+    return pipeline.process(iter(packets))
+
+
+def _append_trajectory(record):
+    TRAJECTORY.parent.mkdir(exist_ok=True)
+    runs = []
+    if TRAJECTORY.exists():
+        try:
+            runs = json.loads(TRAJECTORY.read_text()).get("runs", [])
+        except (ValueError, AttributeError):
+            runs = []
+    runs.append(record)
+    TRAJECTORY.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
 
 
 def test_pipeline_throughput(emit, benchmark):
     config = ScenarioConfig(duration=1 * HOUR, research_sample=1.0 / 512)
     scenario = Scenario(config)
     packets = list(scenario.packets())
+    cpus = os.cpu_count() or 1
 
-    def run():
-        pipeline = QuicsandPipeline(
-            registry=scenario.internet.registry,
-            census=scenario.internet.census,
-            greynoise=scenario.internet.greynoise,
-        )
-        return pipeline.process(iter(packets))
+    result = benchmark.pedantic(
+        lambda: _run(scenario, packets, workers=1), rounds=3, iterations=1
+    )
+    serial_rate = len(packets) / benchmark.stats["mean"]
 
-    result = benchmark.pedantic(run, rounds=3, iterations=1)
-    rate = len(packets) / benchmark.stats["mean"]
+    parallel_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        parallel_result = _run(scenario, packets, workers=PARALLEL_WORKERS)
+        parallel_times.append(time.perf_counter() - start)
+    parallel_rate = len(packets) / (sum(parallel_times) / len(parallel_times))
+    speedup = parallel_rate / serial_rate
+
+    hits = result.class_counts.get("dissect-cache-hit", 0)
+    misses = result.class_counts.get("dissect-cache-miss", 0)
+    hit_rate = hits / (hits + misses) if hits + misses else 0.0
+
+    _append_trajectory(
+        {
+            "unix_time": round(time.time()),
+            "packets": len(packets),
+            "cpus": cpus,
+            "serial_pps": round(serial_rate),
+            "parallel_workers": PARALLEL_WORKERS,
+            "parallel_pps": round(parallel_rate),
+            "speedup": round(speedup, 3),
+            "dissect_cache_hit_rate": round(hit_rate, 4),
+        }
+    )
     emit(
         "pipeline_throughput",
-        f"packets analyzed: {len(packets):,}\n"
-        f"throughput: {rate:,.0f} packets/s\n"
-        f"(paper scale: 92M packets => {92e6 / rate / 3600:.1f} h at this rate)",
+        f"packets analyzed: {len(packets):,}  (cpus: {cpus})\n"
+        f"serial throughput: {serial_rate:,.0f} packets/s\n"
+        f"parallel throughput (workers={PARALLEL_WORKERS}): "
+        f"{parallel_rate:,.0f} packets/s  ({speedup:.2f}x)\n"
+        f"dissector cache hit rate: {hit_rate * 100:.1f}% "
+        f"({hits:,} hits / {misses:,} misses)\n"
+        f"(paper scale: 92M packets => "
+        f"{92e6 / max(serial_rate, parallel_rate) / 3600:.1f} h at the best rate)",
     )
     assert result.total_packets == len(packets)
-    assert rate > 5_000
+    assert parallel_result.total_packets == len(packets)
+    assert serial_rate > 5_000
+    if cpus >= 2:
+        # the smoke bound: sharding must never cost throughput where
+        # there is real parallel hardware
+        assert parallel_rate >= serial_rate
+    if cpus >= 4:
+        # the target bound of the parallel pipeline work
+        assert speedup >= 2.5

@@ -52,11 +52,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("--report-out", help="also write the report to a file")
     analyze.add_argument("--export", help="write per-figure CSV/JSON data here")
+    _workers_arg(analyze)
 
     report = sub.add_parser("report", help="simulate and analyze in one step")
     _scenario_args(report)
     report.add_argument("--report-out", help="also write the report to a file")
     report.add_argument("--export", help="write per-figure CSV/JSON data here")
+    _workers_arg(report)
 
     sub.add_parser("table1", help="run the NGINX Table 1 benchmark")
 
@@ -78,6 +80,16 @@ def _scenario_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the per-packet phase (sharded by "
+        "source IP; results are identical to --workers 1)",
+    )
+
+
 def _scenario(args: argparse.Namespace) -> Scenario:
     config = ScenarioConfig(
         seed=args.seed,
@@ -87,13 +99,16 @@ def _scenario(args: argparse.Namespace) -> Scenario:
     return Scenario(config)
 
 
-def _pipeline(scenario: Optional[Scenario]) -> QuicsandPipeline:
+def _pipeline(scenario: Optional[Scenario], workers: int = 1) -> QuicsandPipeline:
     if scenario is None:
-        return QuicsandPipeline(config=AnalysisConfig(retry_probe_count=0))
+        return QuicsandPipeline(
+            config=AnalysisConfig(retry_probe_count=0, workers=workers)
+        )
     return QuicsandPipeline(
         registry=scenario.internet.registry,
         census=scenario.internet.census,
         greynoise=scenario.internet.greynoise,
+        config=AnalysisConfig(workers=workers),
     )
 
 
@@ -121,7 +136,7 @@ def cmd_simulate(args, stream) -> int:
 
 def cmd_analyze(args, stream) -> int:
     scenario = None if args.no_correlation else _scenario(args)
-    pipeline = _pipeline(scenario)
+    pipeline = _pipeline(scenario, workers=args.workers)
     result = pipeline.process(read_pcap(args.pcap))
     _emit_report(result, scenario, args.report_out, stream)
     _maybe_export(result, args, stream)
@@ -130,7 +145,7 @@ def cmd_analyze(args, stream) -> int:
 
 def cmd_report(args, stream) -> int:
     scenario = _scenario(args)
-    pipeline = _pipeline(scenario)
+    pipeline = _pipeline(scenario, workers=args.workers)
     result = pipeline.process(scenario.packets())
     _emit_report(result, scenario, args.report_out, stream)
     _maybe_export(result, args, stream)

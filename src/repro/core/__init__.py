@@ -23,13 +23,23 @@ Pipeline stages, mirroring Section 4 of the paper:
 8. :mod:`repro.core.pipeline` — single-pass streaming orchestration
    over a packet stream, producing a :class:`~repro.core.pipeline.
    PipelineResult` that every bench renders from.
+9. :mod:`repro.core.parallel` — source-sharded execution of the
+   streaming phase across worker processes; shard partials merge
+   deterministically before finalization, so serial and parallel runs
+   produce identical results.
 """
 
 from repro.core.classify import PacketClass, TrafficClassifier
 from repro.core.dissect import DissectedPacket, QuicDissector
 from repro.core.dos import DosDetector, DosThresholds, FloodAttack
 from repro.core.multivector import MultiVectorAnalysis, correlate_attacks
-from repro.core.pipeline import AnalysisConfig, PipelineResult, QuicsandPipeline
+from repro.core.parallel import run_sharded, shard_of
+from repro.core.pipeline import (
+    AnalysisConfig,
+    PartialState,
+    PipelineResult,
+    QuicsandPipeline,
+)
 from repro.core.sessions import Session, Sessionizer, TimeoutSweep
 from repro.core.export import export_results
 from repro.core.extrapolate import TelescopeExtrapolator
@@ -48,8 +58,11 @@ __all__ = [
     "MultiVectorAnalysis",
     "correlate_attacks",
     "AnalysisConfig",
+    "PartialState",
     "PipelineResult",
     "QuicsandPipeline",
+    "run_sharded",
+    "shard_of",
     "Session",
     "Sessionizer",
     "TimeoutSweep",

@@ -1,0 +1,211 @@
+"""Source-sharded parallel execution of the per-packet phase.
+
+The streaming phase of :class:`~repro.core.pipeline.QuicsandPipeline`
+(classify → dissect → sessionize → hourly counters → timeout-sweep
+observation) keeps all of its state either per source IP or as a plain
+sum.  Hash-partitioning the packet stream by source therefore loses
+nothing: every sessionizer decision, sweep gap and research-candidate
+count depends only on one source's time-ordered substream, which a
+shard sees in full and in order.  Merging the shard partials
+(:meth:`~repro.core.pipeline.PartialState.merge`) then reproduces the
+serial state exactly, and the once-per-capture finalization runs on the
+merged result — a serial and a parallel run yield identical
+:class:`~repro.core.pipeline.PipelineResult`\\ s for the same input.
+
+Mechanically, the parent reads the stream, routes each packet to its
+shard buffer (:func:`shard_of`), and ships filled buffers to worker
+processes as compact tuples (:func:`encode_packet`) over bounded
+queues; each worker rebuilds :class:`~repro.net.packet.CapturedPacket`
+records and feeds its own :class:`PartialState`.  Time order holds
+within each source's substream because a source maps to exactly one
+shard and buffers preserve arrival order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import traceback
+from typing import Iterable, Optional
+
+from repro.net.icmp import IcmpHeader
+from repro.net.ipv4 import IPv4Header
+from repro.net.packet import CapturedPacket
+from repro.net.tcp import TcpHeader
+from repro.net.udp import UdpHeader
+from repro.core.classify import TrafficClassifier
+from repro.core.pipeline import AnalysisConfig, PartialState
+
+DEFAULT_BATCH = 512
+#: per-worker input queue depth, in batches — bounds parent-side memory
+#: and applies backpressure when a shard falls behind.
+QUEUE_DEPTH = 16
+
+_GOLDEN = 0x9E3779B1  # Fibonacci-hash multiplier: mixes clustered IPs
+
+
+def shard_of(source: int, workers: int) -> int:
+    """Map a source IP to its shard (stable hash partition)."""
+    return ((source * _GOLDEN) & 0xFFFFFFFF) % workers
+
+
+# -- compact packet IPC ----------------------------------------------------
+#
+# Pickling CapturedPacket's nested header dataclasses per packet would
+# dominate the parent's feed loop, so packets cross the process
+# boundary as flat tuples of primitives carrying exactly the fields the
+# per-packet phase reads (timestamps, addresses, ports/flags, payload,
+# wire length).  Unread header fields (checksums, TTL, seq/ack) are not
+# shipped; no analysis output depends on them.
+
+_UDP, _TCP, _ICMP = 1, 2, 3
+
+
+def encode_packet(packet: CapturedPacket) -> tuple:
+    """Flatten a packet into a cheap-to-pickle tuple."""
+    transport = packet.transport
+    kind = type(transport)
+    if kind is UdpHeader:
+        wire = (_UDP, transport.src_port, transport.dst_port)
+    elif kind is TcpHeader:
+        wire = (_TCP, transport.src_port, transport.dst_port, int(transport.flags))
+    elif kind is IcmpHeader:
+        wire = (_ICMP, transport.icmp_type, transport.code)
+    else:
+        wire = None
+    ip = packet.ip
+    return (
+        packet.timestamp,
+        ip.src,
+        ip.dst,
+        ip.proto,
+        ip.total_length,
+        wire,
+        packet.payload,
+    )
+
+
+def decode_packet(record: tuple) -> CapturedPacket:
+    """Rebuild a :class:`CapturedPacket` from :func:`encode_packet` output."""
+    timestamp, src, dst, proto, total_length, wire, payload = record
+    if wire is None:
+        transport = None
+    elif wire[0] == _UDP:
+        transport = UdpHeader(wire[1], wire[2])
+    elif wire[0] == _TCP:
+        transport = TcpHeader(wire[1], wire[2], 0, 0, wire[3])
+    else:
+        transport = IcmpHeader(wire[1], wire[2])
+    return CapturedPacket(
+        timestamp, IPv4Header(src, dst, proto, total_length), transport, payload
+    )
+
+
+# -- worker process --------------------------------------------------------
+
+
+def _shard_worker(index, config, in_queue, out_queue) -> None:
+    """Consume encoded batches until the ``None`` sentinel, then ship
+    the flushed partial state back to the parent."""
+    try:
+        classifier = TrafficClassifier(dissect_payloads=config.dissect_payloads)
+        state = PartialState.initial(config)
+        decode = decode_packet
+        while True:
+            batch = in_queue.get()
+            if batch is None:
+                break
+            state.consume([decode(record) for record in batch], classifier)
+        state.record_classifier(classifier)
+        state.close()
+        out_queue.put((index, state, None))
+    except BaseException:
+        out_queue.put((index, None, traceback.format_exc()))
+
+
+def _default_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+def _put_with_liveness(q, item, process) -> None:
+    """Blocking put that notices a dead worker instead of hanging."""
+    while True:
+        try:
+            q.put(item, timeout=5.0)
+            return
+        except queue_module.Full:
+            if not process.is_alive():
+                raise RuntimeError(
+                    f"shard worker {process.name} died (exit {process.exitcode})"
+                ) from None
+
+
+def run_sharded(
+    stream: Iterable,
+    config: AnalysisConfig,
+    workers: int,
+    batch_size: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> PartialState:
+    """Run the per-packet phase sharded by source across ``workers``
+    processes and return the merged :class:`PartialState`."""
+    workers = max(1, int(workers))
+    batch = int(batch_size or DEFAULT_BATCH)
+    ctx = multiprocessing.get_context(start_method or _default_start_method())
+    in_queues = [ctx.Queue(maxsize=QUEUE_DEPTH) for _ in range(workers)]
+    out_queue = ctx.Queue()
+    processes = [
+        ctx.Process(
+            target=_shard_worker,
+            args=(index, config, in_queues[index], out_queue),
+            name=f"quicsand-shard-{index}",
+            daemon=True,
+        )
+        for index in range(workers)
+    ]
+    for process in processes:
+        process.start()
+    try:
+        buffers: list = [[] for _ in range(workers)]
+        encode = encode_packet
+        for packet in stream:
+            shard = ((packet.ip.src * _GOLDEN) & 0xFFFFFFFF) % workers
+            buffer = buffers[shard]
+            buffer.append(encode(packet))
+            if len(buffer) >= batch:
+                _put_with_liveness(in_queues[shard], buffer, processes[shard])
+                buffers[shard] = []
+        for shard, buffer in enumerate(buffers):
+            if buffer:
+                _put_with_liveness(in_queues[shard], buffer, processes[shard])
+            _put_with_liveness(in_queues[shard], None, processes[shard])
+        states: list = [None] * workers
+        pending = set(range(workers))
+        while pending:
+            try:
+                index, state, error = out_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                for index in list(pending):
+                    process = processes[index]
+                    if not process.is_alive() and process.exitcode != 0:
+                        raise RuntimeError(
+                            f"shard worker {index} died "
+                            f"(exit {process.exitcode}) without a result"
+                        )
+                continue
+            if error is not None:
+                raise RuntimeError(f"shard worker {index} failed:\n{error}")
+            states[index] = state
+            pending.discard(index)
+    finally:
+        for process in processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+    # merge in shard-index order: deterministic regardless of which
+    # worker finished first
+    merged = states[0]
+    for state in states[1:]:
+        merged.merge(state)
+    return merged

@@ -16,6 +16,15 @@ paper's evaluation reports:
 
 The pipeline never stores raw packets — memory is bounded by the
 number of distinct sources and sessions.
+
+The per-packet phase (steps 1–3) accumulates into a picklable
+:class:`PartialState` with a deterministic ``merge()``: every counter
+it keeps is either keyed per source (sessionizers, timeout sweep,
+research candidates) or a plain sum (hourly series, class counters),
+so hash-partitioning the stream by source IP across N worker processes
+and merging the partials reproduces the serial state exactly.  See
+:mod:`repro.core.parallel` for the sharded runner; ``workers`` on
+:class:`AnalysisConfig` selects it.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from typing import Iterable, Optional
 from repro.internet.activescan import ActiveScanCensus
 from repro.internet.asn import AsRegistry, NetworkType
 from repro.internet.greynoise import GreyNoisePlatform
+from repro.util.batching import batched
 from repro.util.rng import SeededRng
 from repro.util.timeutil import HOUR
 from repro.core.classify import PacketClass, TrafficClassifier
@@ -50,6 +60,11 @@ class AnalysisConfig:
     #: probe this many top victims in the active RETRY audit.
     retry_probe_count: int = 10
     audit_seed: int = 424242
+    #: worker processes for the per-packet phase; 1 runs in-process.
+    workers: int = 1
+    #: packets per dispatch batch (in-process classify batches and the
+    #: per-shard IPC messages of the parallel runner).
+    batch_size: int = 512
 
 
 @dataclass
@@ -143,6 +158,181 @@ class PipelineResult:
         return self.response_empty_dcid_packets / self.response_long_header_packets
 
 
+@dataclass
+class PartialState:
+    """Mergeable accumulator for the per-packet streaming phase.
+
+    One instance holds everything steps 1–3 produce for one shard of
+    the stream.  All state is keyed per source or additive, so merging
+    shard partials (sources hash-partitioned, time order preserved
+    within each source's substream) reconstructs the serial state
+    exactly.  Instances are picklable: worker processes ship them back
+    to the parent for merging.
+    """
+
+    window_start: Optional[float] = None
+    window_end: Optional[float] = None
+    total_packets: int = 0
+    class_counts: dict = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    response_long_header_packets: int = 0
+    response_empty_dcid_packets: int = 0
+    passive_retry_packets: int = 0
+    quic_source_packets: dict = field(default_factory=dict)
+    per_source_hourly: dict = field(default_factory=dict)
+    hourly_requests: dict = field(default_factory=dict)
+    hourly_responses: dict = field(default_factory=dict)
+    sessionizers: dict = field(default_factory=dict)
+    sweep: TimeoutSweep = field(default_factory=TimeoutSweep)
+
+    @classmethod
+    def initial(cls, config: AnalysisConfig) -> "PartialState":
+        timeout = config.session_timeout
+        return cls(
+            class_counts={packet_class: 0 for packet_class in PacketClass},
+            sessionizers={
+                PacketClass.QUIC_REQUEST: Sessionizer("quic-request", timeout),
+                PacketClass.QUIC_RESPONSE: Sessionizer("quic-response", timeout),
+                PacketClass.TCP_BACKSCATTER: Sessionizer("tcp-backscatter", timeout),
+                PacketClass.ICMP_BACKSCATTER: Sessionizer("icmp-backscatter", timeout),
+            },
+        )
+
+    def consume(self, packets: list, classifier: TrafficClassifier) -> None:
+        """Feed one time-ordered batch through classify → dissect →
+        sessionize → hourly counters → sweep observation."""
+        if not packets:
+            return
+        if self.window_start is None:
+            self.window_start = packets[0].timestamp
+        self.window_end = packets[-1].timestamp
+        self.total_packets += len(packets)
+        classified_batch = classifier.classify_batch(packets)
+        # local bindings: this loop runs once per packet
+        request_cls = PacketClass.QUIC_REQUEST
+        response_cls = PacketClass.QUIC_RESPONSE
+        tcp_cls = PacketClass.TCP_BACKSCATTER
+        icmp_cls = PacketClass.ICMP_BACKSCATTER
+        sessionizers = self.sessionizers
+        request_add = sessionizers[request_cls].add
+        response_add = sessionizers[response_cls].add
+        sweep_observe = self.sweep.observe
+        quic_source_packets = self.quic_source_packets
+        per_source_hourly = self.per_source_hourly
+        hourly_requests = self.hourly_requests
+        hourly_responses = self.hourly_responses
+        response_long = 0
+        response_empty_dcid = 0
+        retry_packets = 0
+        for classified in classified_batch:
+            cls = classified.packet_class
+            if cls is request_cls or cls is response_cls:
+                packet = classified.packet
+                timestamp = packet.timestamp
+                hour = int(timestamp // HOUR)
+                source = packet.src
+                quic_source_packets[source] = quic_source_packets.get(source, 0) + 1
+                if cls is request_cls:
+                    hours = per_source_hourly.setdefault(source, {})
+                    hours[hour] = hours.get(hour, 0) + 1
+                    hourly_requests[hour] = hourly_requests.get(hour, 0) + 1
+                    sweep_observe(source, timestamp)
+                    request_add(classified)
+                else:
+                    hourly_responses[hour] = hourly_responses.get(hour, 0) + 1
+                    dissection = classified.dissection
+                    if dissection is not None and dissection.valid:
+                        if dissection.has_retry:
+                            retry_packets += 1
+                        if dissection.has_long_header:
+                            response_long += 1
+                            if dissection.all_dcids_empty:
+                                response_empty_dcid += 1
+                    sweep_observe(source, timestamp)
+                    response_add(classified)
+            elif cls is tcp_cls or cls is icmp_cls:
+                sessionizers[cls].add(classified)
+        self.response_long_header_packets += response_long
+        self.response_empty_dcid_packets += response_empty_dcid
+        self.passive_retry_packets += retry_packets
+
+    def record_classifier(self, classifier: TrafficClassifier) -> None:
+        """Fold the classifier's counters into the partial state."""
+        for packet_class, count in classifier.counters.items():
+            self.class_counts[packet_class] = (
+                self.class_counts.get(packet_class, 0) + count
+            )
+        self.cache_hits += classifier.cache_hits
+        self.cache_misses += classifier.cache_misses
+
+    def close(self) -> None:
+        """End of shard stream: close every open session."""
+        for sessionizer in self.sessionizers.values():
+            sessionizer.flush()
+
+    def merge(self, other: "PartialState") -> None:
+        """Fold another shard's state into this one, in place."""
+        if other.window_start is not None:
+            self.window_start = (
+                other.window_start
+                if self.window_start is None
+                else min(self.window_start, other.window_start)
+            )
+        if other.window_end is not None:
+            self.window_end = (
+                other.window_end
+                if self.window_end is None
+                else max(self.window_end, other.window_end)
+            )
+        self.total_packets += other.total_packets
+        for packet_class, count in other.class_counts.items():
+            self.class_counts[packet_class] = (
+                self.class_counts.get(packet_class, 0) + count
+            )
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.response_long_header_packets += other.response_long_header_packets
+        self.response_empty_dcid_packets += other.response_empty_dcid_packets
+        self.passive_retry_packets += other.passive_retry_packets
+        for source, count in other.quic_source_packets.items():
+            self.quic_source_packets[source] = (
+                self.quic_source_packets.get(source, 0) + count
+            )
+        for source, hours in other.per_source_hourly.items():
+            target = self.per_source_hourly.setdefault(source, {})
+            for hour, count in hours.items():
+                target[hour] = target.get(hour, 0) + count
+        for hour, count in other.hourly_requests.items():
+            self.hourly_requests[hour] = self.hourly_requests.get(hour, 0) + count
+        for hour, count in other.hourly_responses.items():
+            self.hourly_responses[hour] = self.hourly_responses.get(hour, 0) + count
+        for packet_class, sessionizer in other.sessionizers.items():
+            mine = self.sessionizers.get(packet_class)
+            if mine is None:
+                self.sessionizers[packet_class] = sessionizer
+            else:
+                mine.merge(sessionizer)
+        self.sweep.merge(other.sweep)
+
+    def canonicalize(self) -> None:
+        """Put all ordering-sensitive state into canonical order.
+
+        Closed sessions sort by (first_ts, source) and every keyed dict
+        is rebuilt key-sorted, so finalization — and everything it
+        renders — is identical no matter how the stream was sharded.
+        """
+        for sessionizer in self.sessionizers.values():
+            sessionizer.sort_closed()
+        self.quic_source_packets = dict(sorted(self.quic_source_packets.items()))
+        self.per_source_hourly = {
+            source: dict(sorted(hours.items()))
+            for source, hours in sorted(self.per_source_hourly.items())
+        }
+        self.hourly_requests = dict(sorted(self.hourly_requests.items()))
+        self.hourly_responses = dict(sorted(self.hourly_responses.items()))
+
+
 class QuicsandPipeline:
     """Single-pass streaming analysis of a telescope capture."""
 
@@ -159,84 +349,59 @@ class QuicsandPipeline:
         self.config = config or AnalysisConfig()
 
     def process(self, stream: Iterable) -> PipelineResult:
-        """Consume a time-ordered packet stream and analyze it."""
+        """Consume a time-ordered packet stream and analyze it.
+
+        With ``config.workers > 1`` the per-packet phase runs sharded
+        across worker processes (see :mod:`repro.core.parallel`);
+        results are identical to a serial run by construction.
+        """
         cfg = self.config
-        classifier = TrafficClassifier(dissect_payloads=cfg.dissect_payloads)
-        sweep = TimeoutSweep()
-        sessionizers = {
-            PacketClass.QUIC_REQUEST: Sessionizer("quic-request", cfg.session_timeout),
-            PacketClass.QUIC_RESPONSE: Sessionizer("quic-response", cfg.session_timeout),
-            PacketClass.TCP_BACKSCATTER: Sessionizer("tcp-backscatter", cfg.session_timeout),
-            PacketClass.ICMP_BACKSCATTER: Sessionizer("icmp-backscatter", cfg.session_timeout),
+        workers = max(1, int(cfg.workers or 1))
+        if workers > 1:
+            from repro.core.parallel import run_sharded
+
+            state = run_sharded(
+                stream, cfg, workers=workers, batch_size=cfg.batch_size
+            )
+        else:
+            state = PartialState.initial(cfg)
+            classifier = TrafficClassifier(dissect_payloads=cfg.dissect_payloads)
+            for batch in batched(stream, cfg.batch_size):
+                state.consume(batch, classifier)
+            state.record_classifier(classifier)
+            state.close()
+        return self._finalize(state)
+
+    def _finalize(self, state: PartialState) -> PipelineResult:
+        """Run the once-per-capture steps on the (merged) state."""
+        state.canonicalize()
+        class_counts = {
+            cls.value: n for cls, n in state.class_counts.items() if n
         }
-        quic_source_packets: dict[int, int] = {}
-        per_source_hourly: dict[int, dict] = {}
-        hourly_requests: dict[int, int] = {}
-        hourly_responses: dict[int, int] = {}
-        window_start = None
-        window_end = None
-        total = 0
-        response_long = 0
-        response_empty_dcid = 0
-        retry_packets = 0
-
-        for packet in stream:
-            total += 1
-            if window_start is None:
-                window_start = packet.timestamp
-            window_end = packet.timestamp
-            classified = classifier.classify(packet)
-            cls = classified.packet_class
-            if cls.is_quic:
-                hour = int(packet.timestamp // HOUR)
-                source = packet.src
-                quic_source_packets[source] = quic_source_packets.get(source, 0) + 1
-                if cls is PacketClass.QUIC_REQUEST:
-                    per_source_hourly.setdefault(source, {})
-                    per_source_hourly[source][hour] = (
-                        per_source_hourly[source].get(hour, 0) + 1
-                    )
-                    hourly_requests[hour] = hourly_requests.get(hour, 0) + 1
-                else:
-                    hourly_responses[hour] = hourly_responses.get(hour, 0) + 1
-                    dissection = classified.dissection
-                    if dissection is not None and dissection.valid:
-                        if dissection.has_retry:
-                            retry_packets += 1
-                        long_headers = [
-                            p
-                            for p in dissection.packets
-                            if p.packet_type.name in ("INITIAL", "HANDSHAKE", "ZERO_RTT")
-                        ]
-                        if long_headers:
-                            response_long += 1
-                            if all(p.dcid == b"" for p in long_headers):
-                                response_empty_dcid += 1
-                sweep.observe(source, packet.timestamp)
-                sessionizers[cls].add(classified)
-            elif cls in (PacketClass.TCP_BACKSCATTER, PacketClass.ICMP_BACKSCATTER):
-                sessionizers[cls].add(classified)
-
-        for sessionizer in sessionizers.values():
-            sessionizer.flush()
-
+        if state.cache_hits or state.cache_misses:
+            class_counts["dissect-cache-hit"] = state.cache_hits
+            class_counts["dissect-cache-miss"] = state.cache_misses
         result = PipelineResult(
-            window_start=window_start or 0.0,
-            window_end=window_end or 0.0,
-            config=cfg,
-            total_packets=total,
-            class_counts={cls.value: n for cls, n in classifier.counters.items() if n},
-            dissection_failures=classifier.false_positive_count,
-            response_long_header_packets=response_long,
-            response_empty_dcid_packets=response_empty_dcid,
-            passive_retry_packets=retry_packets,
-            hourly_requests=hourly_requests,
-            hourly_responses=hourly_responses,
+            window_start=state.window_start or 0.0,
+            window_end=state.window_end or 0.0,
+            config=self.config,
+            total_packets=state.total_packets,
+            class_counts=class_counts,
+            dissection_failures=state.class_counts.get(
+                PacketClass.NON_QUIC_UDP443, 0
+            ),
+            response_long_header_packets=state.response_long_header_packets,
+            response_empty_dcid_packets=state.response_empty_dcid_packets,
+            passive_retry_packets=state.passive_retry_packets,
+            hourly_requests=state.hourly_requests,
+            hourly_responses=state.hourly_responses,
         )
-        self._identify_research(result, quic_source_packets, per_source_hourly)
-        sweep.exclude_sources(result.research_sources)
-        result.timeout_sweep = sweep
-        self._collect_sessions(result, sessionizers)
+        self._identify_research(
+            result, state.quic_source_packets, state.per_source_hourly
+        )
+        state.sweep.exclude_sources(result.research_sources)
+        result.timeout_sweep = state.sweep
+        self._collect_sessions(result, state.sessionizers)
         self._detect_attacks(result)
         self._correlate(result)
         return result

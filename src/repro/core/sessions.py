@@ -84,6 +84,21 @@ def _type_name(packet_type: PacketType) -> str:
     return packet_type.name.lower().replace("_", "-")
 
 
+def _sorted_difference(values: list, removals: list) -> list:
+    """Multiset difference of two sorted lists in one linear pass.
+
+    Every element of ``removals`` must be present in ``values``.
+    """
+    out: list = []
+    start = 0
+    for item in removals:
+        stop = bisect.bisect_left(values, item, start)
+        out.extend(values[start:stop])
+        start = stop + 1
+    out.extend(values[start:])
+    return out
+
+
 class Sessionizer:
     """Streaming per-source sessionizer for one traffic class.
 
@@ -147,6 +162,39 @@ class Sessionizer:
         for session in list(self._open.values()):
             self._close(session)
 
+    def merge(self, other: "Sessionizer") -> None:
+        """Fold a shard's sessionizer into this one.
+
+        Shards partition packets by source, so the two sessionizers
+        never saw the same source: open sessions and per-source state
+        are disjoint and the merge is a plain union.  Callers that need
+        a canonical session order sort ``closed`` afterwards (see
+        :meth:`sort_closed`).
+        """
+        if other.traffic_class != self.traffic_class:
+            raise ValueError(
+                f"cannot merge {other.traffic_class!r} into {self.traffic_class!r}"
+            )
+        if other.timeout != self.timeout:
+            raise ValueError("cannot merge sessionizers with different timeouts")
+        overlap = self._seen_sources & other._seen_sources
+        if overlap:
+            raise ValueError(f"shards overlap on {len(overlap)} sources")
+        self.closed.extend(other.closed)
+        self._open.update(other._open)
+        self.gaps.extend(other.gaps)
+        self._seen_sources |= other._seen_sources
+        self.source_count = len(self._seen_sources)
+
+    def sort_closed(self) -> None:
+        """Put closed sessions into canonical (first_ts, source) order.
+
+        Within one source session starts strictly increase, so the key
+        is total and the order is independent of how the stream was
+        sharded — serial and merged parallel runs agree bit for bit.
+        """
+        self.closed.sort(key=lambda s: (s.first_ts, s.source))
+
     @property
     def session_count(self) -> int:
         return len(self.closed) + len(self._open)
@@ -167,20 +215,45 @@ class TimeoutSweep:
         self._gaps: dict[int, list] = {}
         self._excluded: set = set()
         self._sorted: Optional[list] = None
+        self._gap_count = 0
 
     def observe(self, source: int, timestamp: float) -> None:
         last = self._last_seen.get(source)
         if last is not None:
             self._gaps.setdefault(source, []).append(timestamp - last)
+            if source not in self._excluded:
+                self._gap_count += 1
             self._sorted = None
         self._last_seen[source] = timestamp
 
     def exclude_sources(self, sources) -> None:
-        """Drop sources (e.g. research scanners) from the sweep."""
+        """Drop sources (e.g. research scanners) from the sweep.
+
+        Keeps the sorted gap list alive: the excluded sources' gaps are
+        subtracted with one merge pass instead of re-sorting every
+        remaining gap from scratch.
+        """
         new = set(sources) - self._excluded
-        if new:
-            self._excluded |= new
-            self._sorted = None
+        if not new:
+            return
+        self._excluded |= new
+        removed = [gap for source in new for gap in self._gaps.get(source, ())]
+        self._gap_count -= len(removed)
+        if self._sorted is not None and removed:
+            removed.sort()
+            self._sorted = _sorted_difference(self._sorted, removed)
+
+    def merge(self, other: "TimeoutSweep") -> None:
+        """Fold a shard's sweep into this one (disjoint source sets)."""
+        overlap = set(self._last_seen) & set(other._last_seen)
+        if overlap:
+            raise ValueError(f"shards overlap on {len(overlap)} sources")
+        if other._excluded:
+            raise ValueError("merge partial sweeps before excluding sources")
+        self._last_seen.update(other._last_seen)
+        self._gaps.update(other._gaps)
+        self._gap_count += other._gap_count
+        self._sorted = None
 
     @property
     def source_count(self) -> int:
@@ -188,12 +261,7 @@ class TimeoutSweep:
 
     @property
     def packet_count(self) -> int:
-        gap_total = sum(
-            len(gaps)
-            for source, gaps in self._gaps.items()
-            if source not in self._excluded
-        )
-        return gap_total + self.source_count
+        return self._gap_count + self.source_count
 
     def sessions_at(self, timeout: float) -> int:
         """Session count under the given timeout (seconds)."""
@@ -206,6 +274,11 @@ class TimeoutSweep:
             )
         index = bisect.bisect_right(self._sorted, timeout)
         return self.source_count + len(self._sorted) - index
+
+    def _sorted_gaps(self) -> list:
+        """The currently-included gaps in sorted order (testing hook)."""
+        self.sessions_at(0.0)
+        return list(self._sorted or ())
 
     def sweep(self, timeouts_minutes: Iterable[float]) -> list:
         """(timeout_minutes, session_count) series for Figure 4."""

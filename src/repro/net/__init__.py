@@ -16,7 +16,13 @@ from repro.net.checksum import internet_checksum
 from repro.net.icmp import IcmpHeader, IcmpType
 from repro.net.ipv4 import IPProto, IPv4Header
 from repro.net.packet import CapturedPacket
-from repro.net.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+from repro.net.pcap import (
+    PcapReader,
+    PcapWriter,
+    read_pcap,
+    read_pcap_batches,
+    write_pcap,
+)
 from repro.net.tcp import TcpFlags, TcpHeader
 from repro.net.udp import UdpHeader
 
@@ -33,6 +39,7 @@ __all__ = [
     "PcapReader",
     "PcapWriter",
     "read_pcap",
+    "read_pcap_batches",
     "write_pcap",
     "TcpFlags",
     "TcpHeader",

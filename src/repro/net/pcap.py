@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator, Union
 
 from repro.net.packet import CapturedPacket
+from repro.util.batching import batched
 
 MAGIC_MICROS = 0xA1B2C3D4
 MAGIC_NANOS = 0xA1B23C4D
@@ -102,3 +103,14 @@ def read_pcap(path: Union[str, Path]) -> Iterator[CapturedPacket]:
     """Yield packets from a pcap file (file stays open while iterating)."""
     with open(path, "rb") as stream:
         yield from PcapReader(stream)
+
+
+def read_pcap_batches(
+    path: Union[str, Path], batch_size: int = 512
+) -> Iterator[list]:
+    """Yield packets from a pcap file in time-ordered batches.
+
+    Shard-aware feed for the parallel pipeline: the parent reads, the
+    workers analyze (see :mod:`repro.core.parallel`).
+    """
+    return batched(read_pcap(path), batch_size)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.net.packet import CapturedPacket
+from repro.util.batching import batched
 from repro.util.rng import SeededRng
 from repro.util.timeutil import APRIL_1_2021, DAY
 from repro.internet.topology import InternetModel, TopologyConfig
@@ -156,3 +157,13 @@ class Scenario:
         if self.config.include_stray:
             streams.append(self._stray.packets(start, end))
         return self.telescope.capture(merge_streams(*streams))
+
+    def packet_batches(self, batch_size: int = 512) -> Iterator[list]:
+        """The capture as time-ordered batches.
+
+        Shard-aware feed for the parallel pipeline: the parent process
+        iterates batches and routes each packet to its source shard, so
+        each source's substream stays time-ordered (see
+        :mod:`repro.core.parallel`).
+        """
+        return batched(self.packets(), batch_size)

@@ -8,8 +8,10 @@ the substrates and the analysis core:
 - :mod:`repro.util.timeutil` — epoch/bucket helpers for time-series work.
 - :mod:`repro.util.stats` — empirical CDFs, percentiles and summaries.
 - :mod:`repro.util.render` — plain-text tables and charts for benches.
+- :mod:`repro.util.batching` — chunked iteration over packet streams.
 """
 
+from repro.util.batching import batched
 from repro.util.varint import (
     VarintError,
     decode_varint,
@@ -27,6 +29,7 @@ from repro.util.timeutil import (
 )
 
 __all__ = [
+    "batched",
     "VarintError",
     "decode_varint",
     "encode_varint",

@@ -1,0 +1,24 @@
+"""Chunked iteration over packet streams.
+
+The pipeline's per-packet phase dispatches work in batches — both the
+in-process fast path (one classifier call per batch instead of per
+packet) and the sharded parallel runner (one IPC message per batch)
+consume streams through :func:`batched`.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Iterable, Iterator
+
+
+def batched(iterable: Iterable, size: int) -> Iterator[list]:
+    """Yield consecutive lists of up to ``size`` items, preserving order."""
+    if size <= 0:
+        raise ValueError("batch size must be positive")
+    iterator = iter(iterable)
+    while True:
+        batch = list(islice(iterator, size))
+        if not batch:
+            return
+        yield batch

@@ -232,6 +232,75 @@ def test_timeout_sweep_exclude_sources():
     assert sweep.sessions_at(60) == 1
 
 
+def test_timeout_sweep_packet_count_cached_through_exclusion():
+    sweep = TimeoutSweep()
+    for ts in (0.0, 10.0, 20.0):
+        sweep.observe(1, ts)
+    for ts in (0.0, 5.0):
+        sweep.observe(2, ts)
+    assert sweep.packet_count == 5
+    assert sweep.packet_count == 5  # cached, not re-summed
+    sweep.exclude_sources({1})
+    assert sweep.packet_count == 2
+    sweep.observe(3, 1.0)
+    sweep.observe(3, 2.0)
+    assert sweep.packet_count == 4
+    # observations for an excluded source never count
+    sweep.observe(1, 30.0)
+    assert sweep.packet_count == 4
+
+
+def test_timeout_sweep_exclude_keeps_sorted_incremental():
+    """Excluding sources subtracts their gaps from the sorted list
+    in place (including duplicates) instead of forcing a re-sort."""
+    sweep = TimeoutSweep()
+    for source, gaps in ((1, (30.0, 120.0)), (2, (30.0, 600.0)), (3, (45.0,))):
+        t = 0.0
+        sweep.observe(source, t)
+        for gap in gaps:
+            t += gap
+            sweep.observe(source, t)
+    assert sweep._sorted_gaps() == [30.0, 30.0, 45.0, 120.0, 600.0]
+    sweep.exclude_sources({2})
+    assert sweep._sorted_gaps() == [30.0, 45.0, 120.0]
+    assert sweep.sessions_at(60) == 3  # sources 1,3 + the 120 s gap
+    sweep.exclude_sources({2})  # no-op repeat
+    assert sweep._sorted_gaps() == [30.0, 45.0, 120.0]
+
+
+def test_timeout_sweep_merge_disjoint_sources():
+    a = TimeoutSweep()
+    for ts in (0.0, 30.0):
+        a.observe(1, ts)
+    b = TimeoutSweep()
+    for ts in (10.0, 70.0):
+        b.observe(2, ts)
+    a.merge(b)
+    assert a.source_count == 2
+    assert a.packet_count == 4
+    assert a.sessions_at(45) == 3
+    c = TimeoutSweep()
+    c.observe(1, 99.0)
+    with pytest.raises(ValueError):
+        a.merge(c)
+
+
+def test_sessionizer_merge_disjoint_sources():
+    first = Sessionizer("quic-request", timeout=60.0)
+    second = Sessionizer("quic-request", timeout=60.0)
+    classifier = TrafficClassifier()
+    first.add(classifier.classify(udp_packet(ts=0.0, src=1, payload=QUIC_REQUEST_PAYLOAD)))
+    second.add(classifier.classify(udp_packet(ts=5.0, src=2, payload=QUIC_REQUEST_PAYLOAD)))
+    first.flush()
+    second.flush()
+    first.merge(second)
+    first.sort_closed()
+    assert [s.source for s in first.closed] == [1, 2]
+    assert first.source_count == 2
+    with pytest.raises(ValueError):
+        first.merge(Sessionizer("tcp-backscatter", timeout=60.0))
+
+
 def test_timeout_sweep_series_and_knee():
     sweep = TimeoutSweep()
     t = 0.0

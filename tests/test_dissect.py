@@ -140,6 +140,25 @@ def test_cache_returns_equal_results(rng):
     first = dissector.dissect(probe)
     second = dissector.dissect(probe)
     assert first is second  # memoized
+    assert dissector.cache_misses == 1
+    assert dissector.cache_hits == 1
+
+
+def test_cache_two_generations_demote_not_drop():
+    """Filling the young generation demotes it; hot entries stay
+    reachable (and are promoted back) instead of being cleared."""
+    dissector = QuicDissector(cache_size=4)
+    hot = b"\x00hot"  # invalid payloads still memoize their Dissection
+    first = dissector.dissect(hot)
+    for i in range(4):  # fill and roll the young generation
+        dissector.dissect(b"\x00cold%d" % i)
+    assert dissector.cache_misses == 5
+    again = dissector.dissect(hot)  # old-generation hit, promoted
+    assert again is first
+    assert dissector.cache_hits == 1
+    assert dissector.cache_misses == 5
+    assert dissector.dissect(hot) is first  # now a young-generation hit
+    assert dissector.cache_hits == 2
 
 
 def test_scids_property(dissector, rng):

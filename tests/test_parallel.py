@@ -1,0 +1,287 @@
+"""Tests for the source-sharded parallel pipeline.
+
+The contract under test: source-hash sharding is *exact*.  A serial
+run and a parallel run over the same stream must produce identical
+``PipelineResult`` contents (session lists, attack lists, hourly
+series, report text).  Dissector-cache hit/miss telemetry is the one
+documented exception — each worker warms its own cache, so the
+hit/miss split depends on the sharding while the sum does not.
+"""
+
+import os
+
+import pytest
+
+from repro.net.ipv4 import IPProto, IPv4Header
+from repro.net.packet import CapturedPacket
+from repro.net.tcp import TcpFlags, TcpHeader
+from repro.net.udp import UdpHeader
+from repro.util.rng import SeededRng
+from repro.util.timeutil import HOUR
+from repro.quic.connection import ClientConnection
+from repro.core import AnalysisConfig, PartialState, QuicsandPipeline
+from repro.core.classify import PacketClass, TrafficClassifier
+from repro.core.parallel import (
+    decode_packet,
+    encode_packet,
+    run_sharded,
+    shard_of,
+)
+from repro.core.report import build_report
+from repro.telescope import Scenario, ScenarioConfig
+
+RNG = SeededRng(777)
+REQUEST_PAYLOAD = ClientConnection(RNG.child("c")).initial_datagram()
+
+CPUS = os.cpu_count() or 1
+
+
+def quic_request(ts, src, dst=2):
+    return CapturedPacket(
+        ts, IPv4Header(src, dst, IPProto.UDP), UdpHeader(50000, 443), REQUEST_PAYLOAD
+    )
+
+
+def consume_all(state, packets):
+    classifier = TrafficClassifier()
+    state.consume(list(packets), classifier)
+    state.record_classifier(classifier)
+    state.close()
+    return state
+
+
+# -- serial vs parallel equivalence -----------------------------------------
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return Scenario(ScenarioConfig(duration=2 * HOUR, research_sample=1.0 / 512))
+
+
+@pytest.fixture(scope="module")
+def packets(scenario):
+    return list(scenario.packets())
+
+
+def run_pipeline(scenario, packets, workers):
+    pipeline = QuicsandPipeline(
+        registry=scenario.internet.registry,
+        census=scenario.internet.census,
+        greynoise=scenario.internet.greynoise,
+        config=AnalysisConfig(workers=workers),
+    )
+    return pipeline.process(iter(packets))
+
+
+def strip_cache_telemetry(class_counts):
+    return {
+        k: v
+        for k, v in class_counts.items()
+        if not k.startswith("dissect-cache-")
+    }
+
+
+def test_serial_and_parallel_results_identical(scenario, packets):
+    serial = run_pipeline(scenario, packets, workers=1)
+    parallel = run_pipeline(scenario, packets, workers=4)
+
+    assert serial.total_packets == parallel.total_packets == len(packets)
+    assert serial.window_start == parallel.window_start
+    assert serial.window_end == parallel.window_end
+
+    # session lists (dataclass equality, canonical order)
+    assert serial.request_sessions == parallel.request_sessions
+    assert serial.response_sessions == parallel.response_sessions
+    assert serial.tcp_sessions == parallel.tcp_sessions
+    assert serial.icmp_sessions == parallel.icmp_sessions
+
+    # attack lists and downstream correlation
+    assert serial.quic_attacks == parallel.quic_attacks
+    assert serial.common_attacks == parallel.common_attacks
+    assert (
+        serial.multivector.category_shares()
+        == parallel.multivector.category_shares()
+    )
+
+    # hourly series and research identification
+    assert serial.hourly_requests == parallel.hourly_requests
+    assert serial.hourly_responses == parallel.hourly_responses
+    assert serial.hourly_research == parallel.hourly_research
+    assert serial.hourly_other_quic == parallel.hourly_other_quic
+    assert serial.research_sources == parallel.research_sources
+    assert serial.research_packets == parallel.research_packets
+
+    # timeout sweep (Figure 4) over the full candidate range
+    assert serial.timeout_sweep.sweep(range(1, 61)) == parallel.timeout_sweep.sweep(
+        range(1, 61)
+    )
+    assert serial.timeout_sweep.packet_count == parallel.timeout_sweep.packet_count
+
+    # class counters agree except the per-worker cache split; the
+    # total number of dissect calls still matches
+    assert strip_cache_telemetry(serial.class_counts) == strip_cache_telemetry(
+        parallel.class_counts
+    )
+    assert serial.class_counts["dissect-cache-hit"] + serial.class_counts[
+        "dissect-cache-miss"
+    ] == parallel.class_counts["dissect-cache-hit"] + parallel.class_counts[
+        "dissect-cache-miss"
+    ]
+
+    # the rendered report is bit-identical
+    weight = scenario.truth.research_weight
+    assert build_report(serial, research_weight=weight) == build_report(
+        parallel, research_weight=weight
+    )
+
+
+def test_worker_counts_two_and_three_agree(scenario, packets):
+    """Shard-count independence beyond the 1-vs-4 case."""
+    two = run_pipeline(scenario, packets, workers=2)
+    three = run_pipeline(scenario, packets, workers=3)
+    assert two.request_sessions == three.request_sessions
+    assert two.quic_attacks == three.quic_attacks
+    assert two.hourly_requests == three.hourly_requests
+
+
+def test_run_sharded_empty_stream():
+    state = run_sharded(iter(()), AnalysisConfig(), workers=2)
+    assert state.total_packets == 0
+    assert state.window_start is None
+    assert all(not s.closed for s in state.sessionizers.values())
+
+
+# -- PartialState.merge ------------------------------------------------------
+
+
+def test_merge_empty_shard_is_identity():
+    full = consume_all(
+        PartialState.initial(AnalysisConfig()),
+        [quic_request(float(i), src=9) for i in range(5)],
+    )
+    empty = PartialState.initial(AnalysisConfig())
+    empty.close()
+    before_sessions = [
+        s for sz in full.sessionizers.values() for s in sz.closed
+    ]
+    full.merge(empty)
+    after_sessions = [s for sz in full.sessionizers.values() for s in sz.closed]
+    assert full.total_packets == 5
+    assert before_sessions == after_sessions
+    assert full.hourly_requests == {0: 5}
+
+    # and the symmetric direction: empty absorbing a full shard
+    other = consume_all(
+        PartialState.initial(AnalysisConfig()),
+        [quic_request(float(i), src=9) for i in range(5)],
+    )
+    base = PartialState.initial(AnalysisConfig())
+    base.close()
+    base.merge(other)
+    assert base.total_packets == 5
+    assert base.quic_source_packets == {9: 5}
+
+
+def test_merge_single_source_shards():
+    a = consume_all(
+        PartialState.initial(AnalysisConfig()),
+        [quic_request(0.0, src=10), quic_request(30.0, src=10)],
+    )
+    b = consume_all(
+        PartialState.initial(AnalysisConfig()),
+        [quic_request(10.0, src=20)],
+    )
+    a.merge(b)
+    assert a.total_packets == 3
+    assert a.quic_source_packets == {10: 2, 20: 1}
+    sessions = a.sessionizers[PacketClass.QUIC_REQUEST].closed
+    assert {s.source for s in sessions} == {10, 20}
+    assert a.sweep.packet_count == 3
+    assert a.sweep.source_count == 2
+
+
+def test_merge_overlapping_hours_adds():
+    hour1 = HOUR + 1.0
+    a = consume_all(
+        PartialState.initial(AnalysisConfig()),
+        [quic_request(0.0, src=10), quic_request(hour1, src=10)],
+    )
+    b = consume_all(
+        PartialState.initial(AnalysisConfig()),
+        [quic_request(1.0, src=20), quic_request(hour1 + 1.0, src=20)],
+    )
+    a.merge(b)
+    assert a.hourly_requests == {0: 2, 1: 2}
+    assert a.per_source_hourly == {10: {0: 1, 1: 1}, 20: {0: 1, 1: 1}}
+
+
+def test_merge_rejects_overlapping_sources():
+    a = consume_all(PartialState.initial(AnalysisConfig()), [quic_request(0.0, src=10)])
+    b = consume_all(PartialState.initial(AnalysisConfig()), [quic_request(1.0, src=10)])
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_merge_window_bounds():
+    a = consume_all(PartialState.initial(AnalysisConfig()), [quic_request(5.0, src=1)])
+    b = consume_all(
+        PartialState.initial(AnalysisConfig()),
+        [quic_request(1.0, src=2), quic_request(9.0, src=2)],
+    )
+    a.merge(b)
+    assert a.window_start == 1.0
+    assert a.window_end == 9.0
+
+
+# -- sharding and IPC encoding ----------------------------------------------
+
+
+def test_shard_of_is_stable_and_in_range():
+    for source in (0, 1, 0xFFFFFFFF, 0x0A000001, 12345678):
+        for workers in (1, 2, 4, 7):
+            shard = shard_of(source, workers)
+            assert 0 <= shard < workers
+            assert shard == shard_of(source, workers)
+
+
+def test_encode_decode_roundtrip_preserves_analysis_fields():
+    originals = [
+        quic_request(1.5, src=42, dst=7),
+        CapturedPacket(
+            2.0,
+            IPv4Header(3, 4, IPProto.TCP),
+            TcpHeader(443, 999, flags=TcpFlags.SYN | TcpFlags.ACK),
+        ),
+        CapturedPacket(3.0, IPv4Header(5, 6, 99), None, b"opaque"),
+    ]
+    for original in originals:
+        decoded = decode_packet(encode_packet(original))
+        assert decoded.timestamp == original.timestamp
+        assert decoded.src == original.src
+        assert decoded.dst == original.dst
+        assert decoded.proto == original.proto
+        assert decoded.src_port == original.src_port
+        assert decoded.dst_port == original.dst_port
+        assert decoded.payload == original.payload
+        assert decoded.wire_length == original.wire_length
+    syn_ack = decode_packet(encode_packet(originals[1]))
+    assert syn_ack.transport.is_syn_ack
+
+
+# -- throughput smoke --------------------------------------------------------
+
+
+@pytest.mark.skipif(CPUS < 2, reason="parallel speedup needs >= 2 cores")
+def test_parallel_throughput_at_least_serial(scenario, packets):
+    """On multi-core machines the sharded run must not be slower."""
+    import time
+
+    def timed(workers):
+        start = time.perf_counter()
+        run_pipeline(scenario, packets, workers=workers)
+        return time.perf_counter() - start
+
+    timed(1)  # warm caches and imports
+    serial = min(timed(1) for _ in range(2))
+    parallel = min(timed(min(4, CPUS)) for _ in range(2))
+    assert parallel <= serial * 1.1  # allow 10% jitter headroom
