@@ -1,0 +1,120 @@
+"""Streaming monitor: throughput and alert latency vs the batch path.
+
+Engineering benchmark for :mod:`repro.stream` (not a paper figure).
+Measures exact-mode :class:`StreamAnalyzer` packets/second against the
+serial batch pipeline on the same capture — the per-batch watermark
+sweep and per-packet detector hook are the streaming overhead, and the
+acceptance bound is that they cost at most half the batch rate — plus
+the median/maximum event-time alert latency (watermark at the emitting
+batch minus the threshold-crossing packet's timestamp).  Results are
+appended to the ``benchmarks/out/BENCH_stream.json`` trajectory.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core import AnalysisConfig, QuicsandPipeline
+from repro.stream import StreamAnalyzer
+from repro.telescope import Scenario, ScenarioConfig
+from repro.util.batching import batched
+from repro.util.timeutil import HOUR
+
+BATCH_SIZE = 512
+ROUNDS = 3
+TRAJECTORY = Path(__file__).parent / "out" / "BENCH_stream.json"
+
+
+def _correlation(scenario):
+    return dict(
+        registry=scenario.internet.registry,
+        census=scenario.internet.census,
+        greynoise=scenario.internet.greynoise,
+    )
+
+
+def _run_batch(scenario, packets):
+    pipeline = QuicsandPipeline(**_correlation(scenario), config=AnalysisConfig())
+    return pipeline.process(iter(packets))
+
+
+def _run_stream(scenario, packets):
+    analyzer = StreamAnalyzer(**_correlation(scenario), config=AnalysisConfig())
+    for _event in analyzer.events(batched(iter(packets), BATCH_SIZE)):
+        pass
+    return analyzer
+
+
+def _append_trajectory(record):
+    TRAJECTORY.parent.mkdir(exist_ok=True)
+    runs = []
+    if TRAJECTORY.exists():
+        try:
+            runs = json.loads(TRAJECTORY.read_text()).get("runs", [])
+        except (ValueError, AttributeError):
+            runs = []
+    runs.append(record)
+    TRAJECTORY.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
+
+
+def _timed(fn, rounds=ROUNDS):
+    best = None
+    value = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return value, best
+
+
+def test_stream_latency(emit):
+    config = ScenarioConfig(duration=1 * HOUR, research_sample=1.0 / 512)
+    scenario = Scenario(config)
+    packets = list(scenario.packets())
+
+    batch_result, batch_time = _timed(lambda: _run_batch(scenario, packets))
+    analyzer, stream_time = _timed(lambda: _run_stream(scenario, packets))
+
+    batch_rate = len(packets) / batch_time
+    stream_rate = len(packets) / stream_time
+    ratio = stream_rate / batch_rate
+
+    latencies = [alert.latency for alert in analyzer.alerts]
+    median_latency = statistics.median(latencies) if latencies else 0.0
+    max_latency = max(latencies) if latencies else 0.0
+
+    _append_trajectory(
+        {
+            "unix_time": round(time.time()),
+            "packets": len(packets),
+            "batch_size": BATCH_SIZE,
+            "batch_pps": round(batch_rate),
+            "stream_pps": round(stream_rate),
+            "stream_vs_batch": round(ratio, 3),
+            "alerts": len(latencies),
+            "median_alert_latency_s": round(median_latency, 2),
+            "max_alert_latency_s": round(max_latency, 2),
+        }
+    )
+    emit(
+        "stream_latency",
+        f"packets streamed: {len(packets):,}  (batch size: {BATCH_SIZE})\n"
+        f"batch pipeline:   {batch_rate:,.0f} packets/s\n"
+        f"stream analyzer:  {stream_rate:,.0f} packets/s  "
+        f"({ratio:.2f}x batch)\n"
+        f"flood alerts: {len(latencies)}  "
+        f"median latency: {median_latency:.1f} s  max: {max_latency:.1f} s\n"
+        f"(event-time latency: threshold crossing -> emitting batch "
+        f"watermark; shrink --batch-size to trade throughput for it)",
+    )
+
+    # the monitor must alert on this capture, and every alert must map
+    # to a batch-detected attack
+    attacks = batch_result.quic_attacks + batch_result.common_attacks
+    assert len(latencies) == len(attacks) > 0
+    assert all(latency >= 0.0 for latency in latencies)
+    # acceptance bound: streaming >= 0.5x batch serial throughput
+    assert ratio >= 0.5, f"streaming overhead too high: {ratio:.2f}x batch"

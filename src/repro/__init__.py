@@ -1,0 +1,5 @@
+"""QUICsand reproduction — see README.md for the package map."""
+
+#: fallback for ``python -m repro --version`` when the package is run
+#: from a source tree (PYTHONPATH=src) without installed metadata.
+__version__ = "1.0.0"

@@ -8,8 +8,14 @@ Commands mirror the workflow of the paper's toolchain:
   is regenerated from the scenario seed, so pass the same ``--seed``
   used for ``simulate``);
 - ``report``   — simulate + analyze in one go, no pcap on disk;
+- ``watch``    — online monitor: stream a live simulator feed or a
+  tail-followed pcap through the incremental analyzer, printing flood
+  alerts as they fire (see :mod:`repro.stream`);
 - ``table1``   — run the NGINX DoS-resiliency benchmark (Table 1);
 - ``probe``    — actively probe census servers for RETRY (Section 6).
+
+``main`` always *returns* an exit code (usage errors included — argparse
+``SystemExit`` is caught), so embedders get ``0`` success, ``2`` usage.
 """
 
 from __future__ import annotations
@@ -31,10 +37,24 @@ from repro.util.rng import SeededRng
 from repro.util.timeutil import HOUR
 
 
+def _package_version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        import repro
+
+        return repro.__version__
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="QUICsand reproduction: telescope simulation and analysis",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {_package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -59,6 +79,45 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--report-out", help="also write the report to a file")
     report.add_argument("--export", help="write per-figure CSV/JSON data here")
     _workers_arg(report)
+
+    watch = sub.add_parser(
+        "watch", help="online monitor: live flood alerts over a packet feed"
+    )
+    _scenario_args(watch)
+    watch.add_argument(
+        "--pcap",
+        help="tail-follow this pcap instead of the live simulator feed",
+    )
+    watch.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=0.0,
+        help="stop once the pcap stops growing for this many seconds "
+        "(0 = read a complete capture once and stop)",
+    )
+    watch.add_argument(
+        "--speed",
+        type=float,
+        default=0.0,
+        help="simulator pacing in event-seconds per wall-second "
+        "(0 = unpaced)",
+    )
+    watch.add_argument(
+        "--batch-size", type=int, default=512, help="packets per analysis batch"
+    )
+    watch.add_argument(
+        "--exact",
+        action="store_true",
+        help="retain full state and print the batch-identical report at "
+        "EOF (memory grows with the capture; default is the bounded, "
+        "active-source-proportional mode)",
+    )
+    watch.add_argument(
+        "--status-every",
+        type=float,
+        default=1800.0,
+        help="status-line interval in event-time seconds (0 = off)",
+    )
 
     sub.add_parser("table1", help="run the NGINX Table 1 benchmark")
 
@@ -158,6 +217,55 @@ def _maybe_export(result, args, stream) -> None:
         print(f"\nexported {len(files)} data files to {args.export}", file=stream)
 
 
+def cmd_watch(args, stream) -> int:
+    from repro.stream import StreamAnalyzer, StreamConfig, follow_pcap
+
+    scenario = _scenario(args)
+    analyzer = StreamAnalyzer(
+        registry=scenario.internet.registry,
+        census=scenario.internet.census,
+        greynoise=scenario.internet.greynoise,
+        config=AnalysisConfig(),
+        stream_config=StreamConfig(bounded=not args.exact),
+    )
+    if args.pcap:
+        feed = follow_pcap(
+            args.pcap,
+            batch_size=args.batch_size,
+            idle_timeout=args.idle_timeout,
+        )
+        source = f"tail-following {args.pcap}"
+    else:
+        feed = scenario.live_batches(
+            batch_size=args.batch_size, speed=args.speed or None
+        )
+        source = f"live simulator feed ({args.hours:.1f} h planned)"
+    mode = "exact" if args.exact else "bounded"
+    print(f"watching {source} [{mode} mode]", file=stream)
+    next_status: Optional[float] = None
+    try:
+        for batch in feed:
+            for event in analyzer.process_batch(batch):
+                print(event.render(), file=stream)
+            if args.status_every > 0:
+                watermark = analyzer.telemetry.watermark
+                if next_status is None:
+                    next_status = watermark + args.status_every
+                elif watermark >= next_status:
+                    print(analyzer.status_line(), file=stream)
+                    next_status = watermark + args.status_every
+    except KeyboardInterrupt:
+        print("interrupted — finalizing", file=stream)
+    for event in analyzer.finish():
+        print(event.render(), file=stream)
+    print(analyzer.status_line(), file=stream)
+    if args.exact:
+        _emit_report(analyzer.result(), scenario, None, stream)
+    else:
+        print(analyzer.stream_report(), file=stream)
+    return 0
+
+
 def cmd_table1(_args, stream) -> int:
     headers, rows = table1_rows(run_table1())
     print(format_table(headers, rows, title="Table 1 — NGINX DoS resiliency"), file=stream)
@@ -195,6 +303,7 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "analyze": cmd_analyze,
     "report": cmd_report,
+    "watch": cmd_watch,
     "table1": cmd_table1,
     "probe": cmd_probe,
 }
@@ -202,7 +311,14 @@ _COMMANDS = {
 
 def main(argv: Optional[list] = None, stream=None) -> int:
     stream = stream or sys.stdout
-    args = _build_parser().parse_args(argv)
+    try:
+        args = _build_parser().parse_args(argv)
+    except SystemExit as exit_:
+        # argparse exits 2 on usage errors (missing/unknown subcommand,
+        # bad flags) and 0 on --help/--version; surface that as a
+        # return value so every path out of main is a plain int.
+        code = exit_.code
+        return code if isinstance(code, int) else 2
     return _COMMANDS[args.command](args, stream)
 
 

@@ -86,6 +86,7 @@ class DosDetector:
         self.thresholds = thresholds or DosThresholds()
         self.attacks: list = []
         self.rejected_sessions: list = []
+        self._live: set = set()
 
     def consider(self, session: Session) -> Optional[FloodAttack]:
         """Classify one closed session; returns the attack if detected."""
@@ -108,6 +109,50 @@ class DosDetector:
         )
         self.attacks.append(attack)
         return attack
+
+    def observe_update(self, session: Session) -> Optional[FloodAttack]:
+        """Streaming entry point: threshold-check a still-open session.
+
+        All three Moore conditions are monotone over a session's life,
+        so the first packet that makes ``thresholds.matches`` true is
+        the exact event-time threshold crossing.  Returns an attack
+        snapshot (end/packet stats as of the crossing packet) the first
+        time this session crosses; ``None`` on every other call.  The
+        closed session remains the authoritative record — hand it to
+        :meth:`consider` (or :meth:`release`) when it ends.
+        """
+        key = (session.traffic_class, session.source, session.first_ts)
+        if key in self._live:
+            return None
+        if not self.thresholds.matches(session):
+            return None
+        vector = _CLASS_TO_VECTOR.get(session.traffic_class)
+        if vector is None:
+            raise ValueError(
+                f"session class {session.traffic_class!r} is not backscatter"
+            )
+        self._live.add(key)
+        return FloodAttack(
+            victim_ip=session.source,
+            vector=vector,
+            start=session.first_ts,
+            end=session.last_ts,
+            packet_count=session.packet_count,
+            max_pps=session.max_pps,
+            session=session,
+        )
+
+    def release(self, session: Session) -> bool:
+        """Forget a closed session's live-crossing record.
+
+        Returns whether the session had crossed the thresholds while
+        open (i.e. whether :meth:`observe_update` alerted for it).
+        """
+        key = (session.traffic_class, session.source, session.first_ts)
+        if key in self._live:
+            self._live.discard(key)
+            return True
+        return False
 
     def detect_all(self, sessions: Iterable[Session]) -> list:
         for session in sessions:

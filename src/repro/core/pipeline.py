@@ -372,6 +372,12 @@ class QuicsandPipeline:
             state.close()
         return self._finalize(state)
 
+    def finalize_state(self, state: PartialState) -> PipelineResult:
+        """Run the once-per-capture steps on an externally accumulated
+        state (the streaming monitor's exact mode uses this — see
+        :mod:`repro.stream`)."""
+        return self._finalize(state)
+
     def _finalize(self, state: PartialState) -> PipelineResult:
         """Run the once-per-capture steps on the (merged) state."""
         state.canonicalize()

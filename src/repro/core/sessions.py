@@ -113,12 +113,17 @@ class Sessionizer:
         timeout: float = DEFAULT_TIMEOUT,
         on_close: Optional[Callable[[Session], None]] = None,
         record_gaps: bool = False,
+        on_update: Optional[Callable[[Session], None]] = None,
     ) -> None:
         if timeout <= 0:
             raise ValueError("session timeout must be positive")
         self.traffic_class = traffic_class
         self.timeout = timeout
         self.on_close = on_close
+        #: invoked after every packet lands in a (still-open) session;
+        #: the streaming monitor hooks its incremental flood detector
+        #: here.  Must not mutate the session.
+        self.on_update = on_update
         self.closed: list = []
         self._open: dict[int, Session] = {}
         self.record_gaps = record_gaps
@@ -149,6 +154,8 @@ class Sessionizer:
             )
             self._open[source] = session
         session.add(classified)
+        if self.on_update is not None:
+            self.on_update(session)
 
     def _close(self, session: Session) -> None:
         del self._open[session.source]
@@ -161,6 +168,48 @@ class Sessionizer:
         """Close every open session (end of measurement window)."""
         for session in list(self._open.values()):
             self._close(session)
+
+    def expire(self, watermark: float) -> list:
+        """Close sessions idle past the timeout at an event-time watermark.
+
+        Streaming entry point.  On a time-ordered stream this closes
+        exactly the sessions :meth:`add` would later close by its gap
+        rule (or :meth:`flush` at EOF) with identical contents: a
+        session only expires once ``watermark - last_ts > timeout``,
+        and any later packet from the same source necessarily has
+        ``timestamp >= watermark``, hence a gap above the timeout too.
+        Returns the sessions closed by this call.
+        """
+        expired = [
+            session
+            for session in self._open.values()
+            if watermark - session.last_ts > self.timeout
+        ]
+        for session in expired:
+            self._close(session)
+        return expired
+
+    def open_sessions(self) -> list:
+        """Snapshot of the currently open sessions."""
+        return list(self._open.values())
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open)
+
+    def evict_closed(self) -> int:
+        """Bounded-memory entry point: drop closed-session records.
+
+        Counters survive; the seen-source dedup set shrinks to the
+        currently open sources, so a source returning after going fully
+        idle is counted again — the documented approximation of the
+        streaming monitor's bounded mode.  Returns the number of
+        dropped sessions.
+        """
+        dropped = len(self.closed)
+        self.closed.clear()
+        self._seen_sources.intersection_update(self._open)
+        return dropped
 
     def merge(self, other: "Sessionizer") -> None:
         """Fold a shard's sessionizer into this one.

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import BinaryIO, Iterable, Iterator, Union
+from typing import BinaryIO, Iterable, Iterator, Optional, Union
 
 from repro.net.packet import CapturedPacket
 from repro.util.batching import batched
@@ -50,39 +50,78 @@ class PcapWriter:
 
 
 class PcapReader:
-    """Iterates :class:`CapturedPacket` records from a pcap file."""
+    """Iterates :class:`CapturedPacket` records from a pcap file.
 
-    def __init__(self, stream: BinaryIO) -> None:
+    With ``tail=True`` (requires a seekable stream) a truncated
+    trailing record — or a not-yet-complete global header — is treated
+    as *not yet written* instead of malformed: the stream position is
+    rewound to the start of the incomplete item and iteration stops
+    cleanly.  Iterating again after the file has grown resumes exactly
+    where the reader left off, so a writer-in-progress capture can be
+    tail-followed (see :func:`repro.stream.feeds.follow_pcap`).
+    A genuinely bad magic number still raises in both modes.
+    """
+
+    def __init__(self, stream: BinaryIO, tail: bool = False) -> None:
         self._stream = stream
-        header = stream.read(_GLOBAL.size)
+        self._tail = tail
+        self._record: Optional[struct.Struct] = None
+        self._tick = 1e-6
+        self.linktype: Optional[int] = None
+        if not tail:
+            self._try_read_header()
+
+    @property
+    def header_read(self) -> bool:
+        return self._record is not None
+
+    def _try_read_header(self) -> bool:
+        pos = self._stream.tell() if self._tail else None
+        header = self._stream.read(_GLOBAL.size)
         if len(header) < _GLOBAL.size:
+            if self._tail:
+                self._stream.seek(pos)
+                return False
             raise PcapFormatError("truncated pcap global header")
         magic = struct.unpack("<I", header[:4])[0]
         if magic in (MAGIC_MICROS, MAGIC_NANOS):
-            self._endian = "<"
+            endian = "<"
         elif magic in (
             struct.unpack(">I", struct.pack("<I", MAGIC_MICROS))[0],
             struct.unpack(">I", struct.pack("<I", MAGIC_NANOS))[0],
         ):
-            self._endian = ">"
+            endian = ">"
             magic = struct.unpack(">I", header[:4])[0]
         else:
             raise PcapFormatError(f"bad pcap magic {magic:#x}")
         self._tick = 1e-9 if magic == MAGIC_NANOS else 1e-6
-        fields = struct.unpack(self._endian + "IHHiIII", header)
+        fields = struct.unpack(endian + "IHHiIII", header)
         self.linktype = fields[6]
+        self._record = struct.Struct(endian + "IIII")
+        return True
 
     def __iter__(self) -> Iterator[CapturedPacket]:
-        record = struct.Struct(self._endian + "IIII")
+        if self._record is None and not self._try_read_header():
+            return
+        record = self._record
+        stream = self._stream
+        tail = self._tail
         while True:
-            head = self._stream.read(record.size)
+            pos = stream.tell() if tail else None
+            head = stream.read(record.size)
             if not head:
                 return
             if len(head) < record.size:
+                if tail:
+                    stream.seek(pos)
+                    return
                 raise PcapFormatError("truncated pcap record header")
             seconds, fraction, caplen, _origlen = record.unpack(head)
-            data = self._stream.read(caplen)
+            data = stream.read(caplen)
             if len(data) < caplen:
+                if tail:
+                    stream.seek(pos)
+                    return
                 raise PcapFormatError("truncated pcap record body")
             timestamp = seconds + fraction * self._tick
             yield CapturedPacket.from_bytes(timestamp, data)

@@ -1,0 +1,37 @@
+"""Online telescope monitoring: the streaming layer over the batch core.
+
+The batch pipeline (:mod:`repro.core.pipeline`) answers "what happened
+in this capture" once, at finalization.  This package answers it *as it
+happens*: :class:`StreamAnalyzer` runs the same classification and
+sessionization incrementally over an unbounded feed, closes sessions
+behind an event-time watermark, raises typed
+:class:`~repro.stream.events.FloodAlert` /
+:class:`~repro.stream.events.AttackEnded` events the moment the Moore
+thresholds are crossed, correlates vectors online against a sliding
+flood window, and — in bounded mode — keeps memory proportional to
+*active* sources instead of capture size.
+
+On any finite capture the exact mode reproduces the batch
+``PipelineResult`` bit for bit (``tests/test_stream_equivalence.py``),
+the same way the parallel runner pins serial ≡ parallel.
+
+``python -m repro watch`` is the CLI front end; feeds come from
+:mod:`repro.stream.feeds` (live simulator, tail-followed pcap).
+"""
+
+from repro.stream.analyzer import StreamAnalyzer, StreamConfig, StreamTelemetry
+from repro.stream.correlate import LiveFlood, OnlineCorrelator
+from repro.stream.events import AttackEnded, FloodAlert
+from repro.stream.feeds import follow_pcap, simulator_feed
+
+__all__ = [
+    "AttackEnded",
+    "FloodAlert",
+    "LiveFlood",
+    "OnlineCorrelator",
+    "StreamAnalyzer",
+    "StreamConfig",
+    "StreamTelemetry",
+    "follow_pcap",
+    "simulator_feed",
+]

@@ -1,0 +1,441 @@
+"""The online telescope monitor: QUICsand analysis over an unbounded feed.
+
+:class:`StreamAnalyzer` runs the same classify → dissect → sessionize
+machinery as the batch :class:`~repro.core.pipeline.QuicsandPipeline`
+(it literally accumulates the same
+:class:`~repro.core.pipeline.PartialState`), with three streaming
+additions:
+
+1. **Watermark-driven session expiry** — after every batch the
+   event-time watermark (newest timestamp minus an allowed lateness)
+   advances and sessions idle past the timeout are closed.  On a
+   time-ordered stream this closes exactly the sessions the batch
+   sessionizer would close, with identical contents (see
+   :meth:`repro.core.sessions.Sessionizer.expire`), which is why the
+   exact mode reproduces batch results bit for bit.
+2. **Incremental flood detection** — a per-packet hook on the
+   backscatter sessionizers threshold-checks each updated session, so
+   a :class:`~repro.stream.events.FloodAlert` fires the moment a
+   session crosses the Moore thresholds (monotone conditions make the
+   crossing packet exact), and an
+   :class:`~repro.stream.events.AttackEnded` follows when the session
+   expires — with an online multi-vector category from the sliding
+   common-flood window.
+3. **Bounded memory** (``StreamConfig(bounded=True)``) — closed
+   sessions are folded into running summaries and evicted, the
+   per-packet timeout sweep is disabled, and per-source tallies are
+   pruned on every hour rollover down to *open* sources plus
+   research-threshold heavy hitters.  Memory is then proportional to
+   active sources (plus the alert history and the rolling hour window),
+   not capture size; telemetry reports the live/evicted counts.
+
+Exact mode (the default) retains the full state: after ``finish()``,
+``result()`` runs the batch finalization and returns a
+``PipelineResult`` identical to ``QuicsandPipeline.process`` over the
+same capture — asserted in ``tests/test_stream_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.core.classify import PacketClass, TrafficClassifier
+from repro.core.dos import DosDetector
+from repro.core.pipeline import AnalysisConfig, PartialState, PipelineResult, QuicsandPipeline
+from repro.core.sessions import Session
+from repro.stream.correlate import LiveFlood, OnlineCorrelator
+from repro.stream.events import AttackEnded, FloodAlert, format_event_time
+from repro.util.render import format_table
+from repro.util.timeutil import HOUR
+
+_BACKSCATTER_CLASSES = (
+    PacketClass.QUIC_RESPONSE,
+    PacketClass.TCP_BACKSCATTER,
+    PacketClass.ICMP_BACKSCATTER,
+)
+
+
+@dataclass
+class StreamConfig:
+    """Knobs of the online monitor."""
+
+    #: watermark = newest event time − allowed lateness; 0 is exact for
+    #: time-ordered feeds, raise it for mildly out-of-order captures.
+    allowed_lateness: float = 0.0
+    #: evict closed sessions / idle sources and disable the per-packet
+    #: timeout sweep, bounding memory by *active* sources.  Disables
+    #: the batch-identical ``result()``.
+    bounded: bool = False
+    #: sliding window for online multi-vector correlation.
+    correlation_horizon: float = 24 * HOUR
+    #: hour buckets kept in the rolling hourly series (bounded mode).
+    retain_hours: int = 48
+
+
+@dataclass
+class StreamTelemetry:
+    """Counters and gauges the monitor exposes (status lines, tests)."""
+
+    packets: int = 0
+    batches: int = 0
+    watermark: float = float("-inf")
+    newest_ts: float = float("-inf")
+    alerts: int = 0
+    attacks_ended: int = 0
+    evicted_sessions: int = 0
+    pruned_sources: int = 0
+    pruned_hours: int = 0
+    live_sources: int = 0
+    open_sessions: int = 0
+    peak_live_sources: int = 0
+    active_floods: int = 0
+    #: size of the per-source tally maps — the bounded-memory proxy.
+    tracked_sources: int = 0
+
+    @property
+    def watermark_lag(self) -> float:
+        """Event-time distance from the newest packet to the watermark
+        (equals the allowed lateness once the stream is flowing)."""
+        if self.newest_ts == float("-inf"):
+            return 0.0
+        return self.newest_ts - self.watermark
+
+
+class _NullSweep:
+    """Timeout-sweep stand-in for bounded mode: recording every
+    inter-packet gap is inherently capture-sized, so the sweep is
+    disabled rather than evicted."""
+
+    source_count = 0
+    packet_count = 0
+
+    def observe(self, source: int, timestamp: float) -> None:
+        pass
+
+
+class StreamAnalyzer:
+    """Online QUICsand analysis with live flood alerting."""
+
+    def __init__(
+        self,
+        registry=None,
+        census=None,
+        greynoise=None,
+        config: Optional[AnalysisConfig] = None,
+        stream_config: Optional[StreamConfig] = None,
+    ) -> None:
+        self.pipeline = QuicsandPipeline(registry, census, greynoise, config)
+        self.config = self.pipeline.config
+        self.stream_config = stream_config or StreamConfig()
+        self.state = PartialState.initial(self.config)
+        self.classifier = TrafficClassifier(
+            dissect_payloads=self.config.dissect_payloads
+        )
+        self.detector = DosDetector(self.config.thresholds)
+        self.correlator = OnlineCorrelator(
+            horizon=self.stream_config.correlation_horizon
+        )
+        self.telemetry = StreamTelemetry()
+        #: alert history (floods are rare — ~4/hour Internet-wide — so
+        #: this stays small even on long runs).
+        self.alerts: list = []
+        self._pending: list = []
+        self._active: dict = {}
+        self._cursor = {cls: 0 for cls in self.state.sessionizers}
+        self._current_hour: Optional[int] = None
+        self._finished = False
+        self._floods_by_vector: dict = {}
+        self._category_counts: dict = {}
+        self._pruned_requests = 0
+        self._pruned_responses = 0
+        for cls in _BACKSCATTER_CLASSES:
+            self.state.sessionizers[cls].on_update = self._on_backscatter_update
+        if self.stream_config.bounded:
+            self.state.sweep = _NullSweep()
+
+    # -- streaming loop ---------------------------------------------------
+
+    def process_batch(self, batch: list) -> list:
+        """Consume one time-ordered batch; returns the events it caused."""
+        if self._finished:
+            raise RuntimeError("stream already finished")
+        if not batch:
+            return []
+        self.state.consume(batch, self.classifier)
+        telemetry = self.telemetry
+        telemetry.packets += len(batch)
+        telemetry.batches += 1
+        newest = batch[-1].timestamp
+        if newest > telemetry.newest_ts:
+            telemetry.newest_ts = newest
+        watermark = telemetry.newest_ts - self.stream_config.allowed_lateness
+        if watermark > telemetry.watermark:
+            telemetry.watermark = watermark
+        for sessionizer in self.state.sessionizers.values():
+            sessionizer.expire(telemetry.watermark)
+        events = self._drain(telemetry.watermark)
+        self._hour_rollover(telemetry.watermark)
+        self._update_gauges()
+        return events
+
+    def events(self, feed: Iterable[list]) -> Iterator:
+        """Run the monitor over a batch feed, yielding events as they
+        fire; finishes the stream when the feed ends."""
+        for batch in feed:
+            yield from self.process_batch(batch)
+        yield from self.finish()
+
+    def finish(self) -> list:
+        """End of stream (EOF / SIGINT): flush every open session and
+        return the final events."""
+        if self._finished:
+            return []
+        self._finished = True
+        self.state.record_classifier(self.classifier)
+        self.state.close()
+        events = self._drain(self.telemetry.watermark)
+        self._update_gauges()
+        return events
+
+    def result(self) -> PipelineResult:
+        """The batch-identical analysis result (exact mode only)."""
+        if not self._finished:
+            raise RuntimeError("call finish() before result()")
+        if self.stream_config.bounded:
+            raise RuntimeError(
+                "bounded mode evicts session state; no batch result available"
+            )
+        return self.pipeline.finalize_state(self.state)
+
+    # -- incremental detection hooks --------------------------------------
+
+    def _on_backscatter_update(self, session: Session) -> None:
+        attack = self.detector.observe_update(session)
+        if attack is None:
+            return
+        alert = FloodAlert(
+            victim_ip=attack.victim_ip,
+            vector=attack.vector,
+            start=attack.start,
+            crossed_at=session.last_ts,
+            packet_count=attack.packet_count,
+            max_pps=attack.max_pps,
+        )
+        self._pending.append(alert)
+        self.alerts.append(alert)
+        self.telemetry.alerts += 1
+        flood = LiveFlood(
+            victim_ip=attack.victim_ip,
+            vector=attack.vector,
+            start=attack.start,
+            session=session,
+        )
+        self._active[
+            (session.traffic_class, session.source, session.first_ts)
+        ] = flood
+        if attack.vector != "quic":
+            self.correlator.register_common(flood)
+
+    def _on_session_closed(self, session: Session) -> None:
+        key = (session.traffic_class, session.source, session.first_ts)
+        self.detector.release(session)
+        flood = self._active.pop(key, None)
+        if flood is None:
+            return
+        flood.end = session.last_ts
+        flood.session = None
+        category = None
+        partners: tuple = ()
+        gap = None
+        if flood.vector == "quic":
+            category, partners, gap = self.correlator.classify(
+                session.source, session.first_ts, session.last_ts
+            )
+            self._category_counts[category] = (
+                self._category_counts.get(category, 0) + 1
+            )
+        self._floods_by_vector[flood.vector] = (
+            self._floods_by_vector.get(flood.vector, 0) + 1
+        )
+        self.telemetry.attacks_ended += 1
+        self._pending.append(
+            AttackEnded(
+                victim_ip=session.source,
+                vector=flood.vector,
+                start=session.first_ts,
+                end=session.last_ts,
+                packet_count=session.packet_count,
+                max_pps=session.max_pps,
+                category=category,
+                partner_vectors=partners,
+                nearest_gap=gap,
+            )
+        )
+
+    # -- draining and eviction --------------------------------------------
+
+    def _drain(self, watermark: float) -> list:
+        for cls, sessionizer in self.state.sessionizers.items():
+            closed = sessionizer.closed
+            cursor = self._cursor[cls]
+            if len(closed) > cursor:
+                for session in closed[cursor:]:
+                    self._on_session_closed(session)
+                self._cursor[cls] = len(closed)
+        if self.stream_config.bounded:
+            for cls, sessionizer in self.state.sessionizers.items():
+                self.telemetry.evicted_sessions += sessionizer.evict_closed()
+                self._cursor[cls] = 0
+        events = self._pending
+        self._pending = []
+        for event in events:
+            event.emitted_at = watermark
+        return events
+
+    def _hour_rollover(self, watermark: float) -> None:
+        hour = int(watermark // HOUR)
+        if hour == self._current_hour:
+            return
+        first = self._current_hour is None
+        self._current_hour = hour
+        if first:
+            return
+        self.correlator.prune(watermark)
+        if self.stream_config.bounded:
+            self._evict_idle(hour)
+
+    def _evict_idle(self, hour: int) -> None:
+        """Bounded mode, per hour: keep tallies only for open sources
+        and research-threshold heavy hitters; prune rolled-off hours."""
+        state = self.state
+        telemetry = self.telemetry
+        open_sources: set = set()
+        for sessionizer in state.sessionizers.values():
+            open_sources.update(
+                session.source for session in sessionizer.open_sessions()
+            )
+        min_packets = self.config.research_min_packets
+        tallies = state.quic_source_packets
+        keep = {
+            source
+            for source, count in tallies.items()
+            if count >= min_packets or source in open_sources
+        }
+        dropped = len(tallies) - len(keep)
+        if dropped:
+            state.quic_source_packets = {
+                source: count for source, count in tallies.items() if source in keep
+            }
+            state.per_source_hourly = {
+                source: hours
+                for source, hours in state.per_source_hourly.items()
+                if source in keep
+            }
+            telemetry.pruned_sources += dropped
+        floor = hour - self.stream_config.retain_hours
+        for rolled in [h for h in state.hourly_requests if h < floor]:
+            self._pruned_requests += state.hourly_requests.pop(rolled)
+            telemetry.pruned_hours += 1
+        for rolled in [h for h in state.hourly_responses if h < floor]:
+            self._pruned_responses += state.hourly_responses.pop(rolled)
+            telemetry.pruned_hours += 1
+        for hours in state.per_source_hourly.values():
+            for rolled in [h for h in hours if h < floor]:
+                del hours[rolled]
+
+    def _update_gauges(self) -> None:
+        telemetry = self.telemetry
+        sessionizers = self.state.sessionizers.values()
+        telemetry.open_sessions = sum(s.open_count for s in sessionizers)
+        live: set = set()
+        for sessionizer in sessionizers:
+            live.update(s.source for s in sessionizer.open_sessions())
+        telemetry.live_sources = len(live)
+        if telemetry.live_sources > telemetry.peak_live_sources:
+            telemetry.peak_live_sources = telemetry.live_sources
+        telemetry.active_floods = len(self._active)
+        telemetry.tracked_sources = len(self.state.quic_source_packets)
+
+    # -- reporting ---------------------------------------------------------
+
+    def hourly_counters(self) -> dict:
+        """Rolling hourly requests/responses (current window), newest
+        hours last."""
+        hours = sorted(
+            set(self.state.hourly_requests) | set(self.state.hourly_responses)
+        )
+        return {
+            hour: (
+                self.state.hourly_requests.get(hour, 0),
+                self.state.hourly_responses.get(hour, 0),
+            )
+            for hour in hours
+        }
+
+    def status_line(self) -> str:
+        """One-line monitor status for the periodic watch output."""
+        telemetry = self.telemetry
+        watermark = (
+            format_event_time(telemetry.watermark)
+            if telemetry.watermark != float("-inf")
+            else "-"
+        )
+        hour_key = int(telemetry.watermark // HOUR) if telemetry.watermark != float("-inf") else 0
+        requests = self.state.hourly_requests.get(hour_key, 0)
+        responses = self.state.hourly_responses.get(hour_key, 0)
+        return (
+            f"[status] watermark={watermark} packets={telemetry.packets:,} "
+            f"live_sources={telemetry.live_sources} "
+            f"open_sessions={telemetry.open_sessions} "
+            f"active_floods={telemetry.active_floods} "
+            f"alerts={telemetry.alerts} "
+            f"evicted={telemetry.evicted_sessions:,} "
+            f"hour_req/resp={requests}/{responses} "
+            f"lag={telemetry.watermark_lag:.1f}s"
+        )
+
+    def stream_report(self) -> str:
+        """Final summary of an (optionally bounded) monitoring run."""
+        telemetry = self.telemetry
+        state = self.state
+        window = ""
+        if state.window_start is not None and state.window_end is not None:
+            hours = (state.window_end - state.window_start) / HOUR
+            window = (
+                f"{format_event_time(state.window_start)} — "
+                f"{format_event_time(state.window_end)} ({hours:.1f} h)"
+            )
+        requests = sum(state.hourly_requests.values()) + self._pruned_requests
+        responses = sum(state.hourly_responses.values()) + self._pruned_responses
+        rows = [
+            ["window", window or "-"],
+            ["packets processed", f"{telemetry.packets:,}"],
+            ["QUIC requests / responses", f"{requests:,} / {responses:,}"],
+            ["flood alerts", str(telemetry.alerts)],
+            ["floods ended", str(telemetry.attacks_ended)],
+        ]
+        for vector in ("quic", "tcp", "icmp"):
+            if vector in self._floods_by_vector:
+                rows.append(
+                    [f"  {vector} floods", str(self._floods_by_vector[vector])]
+                )
+        for category in ("concurrent", "sequential", "isolated"):
+            if category in self._category_counts:
+                rows.append(
+                    [
+                        f"  quic {category} (online)",
+                        str(self._category_counts[category]),
+                    ]
+                )
+        rows += [
+            ["live sources (now / peak)", f"{telemetry.live_sources} / {telemetry.peak_live_sources}"],
+            ["tracked sources", str(telemetry.tracked_sources)],
+            ["sessions evicted", f"{telemetry.evicted_sessions:,}"],
+            ["sources pruned", f"{telemetry.pruned_sources:,}"],
+            ["correlation window", str(self.correlator.window_size)],
+        ]
+        mode = "bounded" if self.stream_config.bounded else "exact"
+        return format_table(
+            ["metric", "value"], rows, title=f"Streaming monitor summary ({mode} mode)"
+        )

@@ -1,0 +1,112 @@
+"""Typed events emitted by the streaming monitor.
+
+Two event kinds cover the lifecycle of an online flood detection:
+
+- :class:`FloodAlert` — a still-open backscatter session crossed the
+  Moore thresholds.  ``crossed_at`` is the exact event time of the
+  packet that completed the crossing (all three conditions are
+  monotone); ``emitted_at`` is the event-time watermark when the
+  monitor surfaced the alert, so ``latency`` measures the detection
+  granularity of the batch loop.
+- :class:`AttackEnded` — the alerted session expired (its source went
+  quiet past the watermark).  Carries the final session statistics and,
+  for QUIC floods, the provisional multi-vector category against the
+  sliding window of recent TCP/ICMP floods.
+
+Events render to the one-line log format ``python -m repro watch``
+prints.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.addresses import format_ipv4
+
+
+def format_event_time(timestamp: float) -> str:
+    """Epoch seconds to compact UTC ``MM-DD HH:MM:SS``."""
+    parts = time.gmtime(timestamp)
+    return time.strftime("%m-%d %H:%M:%S", parts)
+
+
+def format_duration(seconds: float) -> str:
+    """Compact ``4m32s`` / ``1h07m`` style duration."""
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+@dataclass
+class FloodAlert:
+    """A backscatter session crossed the Moore thresholds while open."""
+
+    victim_ip: int
+    vector: str  # "quic" | "tcp" | "icmp"
+    start: float
+    crossed_at: float
+    packet_count: int
+    max_pps: float
+    emitted_at: Optional[float] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Event-time distance from threshold crossing to emission."""
+        if self.emitted_at is None:
+            return None
+        return self.emitted_at - self.crossed_at
+
+    def render(self) -> str:
+        latency = self.latency
+        lag = f", detected +{latency:.1f}s" if latency is not None else ""
+        return (
+            f"[ALERT] {self.vector} flood on {format_ipv4(self.victim_ip)} — "
+            f"{self.packet_count:,} pkts, {self.max_pps:.2f} pps peak, "
+            f"started {format_event_time(self.start)}, "
+            f"crossed {format_event_time(self.crossed_at)}{lag}"
+        )
+
+
+@dataclass
+class AttackEnded:
+    """An alerted flood's session expired behind the watermark."""
+
+    victim_ip: int
+    vector: str
+    start: float
+    end: float
+    packet_count: int
+    max_pps: float
+    #: online multi-vector category (QUIC floods only): concurrent /
+    #: sequential / isolated against the sliding common-flood window —
+    #: provisional as-of-watermark; the batch correlation over the full
+    #: capture is authoritative.
+    category: Optional[str] = None
+    partner_vectors: tuple = field(default_factory=tuple)
+    nearest_gap: Optional[float] = None
+    emitted_at: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def render(self) -> str:
+        tail = ""
+        if self.category is not None:
+            tail = f", multivector: {self.category}"
+            if self.partner_vectors:
+                tail += f"({'+'.join(self.partner_vectors)})"
+            if self.nearest_gap is not None:
+                tail += f", nearest gap {format_duration(self.nearest_gap)}"
+        return (
+            f"[ended] {self.vector} flood on {format_ipv4(self.victim_ip)} — "
+            f"{format_duration(self.duration)}, {self.packet_count:,} pkts, "
+            f"{self.max_pps:.2f} pps peak{tail}"
+        )

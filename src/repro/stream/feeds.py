@@ -1,0 +1,80 @@
+"""Packet feeds for the online monitor.
+
+Two sources drive :class:`~repro.stream.analyzer.StreamAnalyzer`:
+
+- :func:`follow_pcap` — tail-follow a (possibly still growing) pcap
+  file using the reader's lenient tail mode: a truncated trailing
+  record means "not yet written", so the feed polls until the file
+  stops growing for ``idle_timeout`` seconds (``0`` reads a complete
+  capture once and stops; ``None`` follows forever).
+- :func:`simulator_feed` — the telescope simulator driven as a live
+  generator (see :meth:`repro.telescope.workload.Scenario.live_batches`),
+  optionally paced against the wall clock.
+
+Both yield non-empty, time-ordered packet batches.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.net.pcap import PcapReader
+
+
+def follow_pcap(
+    path: Union[str, Path],
+    *,
+    batch_size: int = 512,
+    poll_interval: float = 0.2,
+    idle_timeout: Optional[float] = 0.0,
+    sleep=time.sleep,
+) -> Iterator[list]:
+    """Yield packet batches from a pcap file as it is written.
+
+    Partial batches are flushed whenever the file is momentarily
+    exhausted so alerts are never starved behind a batch boundary.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch size must be positive")
+    if poll_interval <= 0:
+        raise ValueError("poll interval must be positive")
+    with open(path, "rb") as stream:
+        reader = PcapReader(stream, tail=True)
+        pending: list = []
+        idle = 0.0
+        while True:
+            got = 0
+            for packet in reader:
+                pending.append(packet)
+                got += 1
+                if len(pending) >= batch_size:
+                    yield pending
+                    pending = []
+            if got:
+                idle = 0.0
+                if pending:
+                    yield pending
+                    pending = []
+            else:
+                if idle_timeout is not None and idle >= idle_timeout:
+                    break
+                sleep(poll_interval)
+                idle += poll_interval
+        if pending:
+            yield pending
+
+
+def simulator_feed(
+    scenario,
+    *,
+    batch_size: int = 512,
+    speed: Optional[float] = None,
+) -> Iterator[list]:
+    """The telescope simulator as a live feed.
+
+    ``speed`` is event-seconds per wall-second (``None`` or ``0``
+    releases batches as fast as they generate).
+    """
+    return scenario.live_batches(batch_size=batch_size, speed=speed)

@@ -12,6 +12,7 @@ statistics (durations, rates, session sizes) are at paper scale, event
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
@@ -167,3 +168,32 @@ class Scenario:
         :mod:`repro.core.parallel`).
         """
         return batched(self.packets(), batch_size)
+
+    def live_batches(
+        self,
+        batch_size: int = 512,
+        speed: Optional[float] = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> Iterator[list]:
+        """Drive the scenario as a *live* feed for the online monitor.
+
+        With ``speed`` set (event-seconds per wall-second), each batch
+        is released only once its newest packet's event time has
+        "happened" under the speed-up — the telescope tap replayed in
+        accelerated real time.  ``None``/``0`` releases batches as fast
+        as they generate (the common test/bench mode).
+        """
+        if not speed:
+            yield from self.packet_batches(batch_size)
+            return
+        if speed < 0:
+            raise ValueError("replay speed must be positive")
+        wall_start = clock()
+        event_start = self.config.start
+        for batch in self.packet_batches(batch_size):
+            due = (batch[-1].timestamp - event_start) / speed
+            delay = due - (clock() - wall_start)
+            if delay > 0:
+                sleep(delay)
+            yield batch

@@ -301,6 +301,51 @@ def test_sessionizer_merge_disjoint_sources():
         first.merge(Sessionizer("tcp-backscatter", timeout=60.0))
 
 
+def test_sessionizer_merge_rejects_overlapping_sources():
+    first = Sessionizer("quic-request", timeout=60.0)
+    second = Sessionizer("quic-request", timeout=60.0)
+    classifier = TrafficClassifier()
+    first.add(classifier.classify(udp_packet(ts=0.0, src=1, payload=QUIC_REQUEST_PAYLOAD)))
+    second.add(classifier.classify(udp_packet(ts=5.0, src=1, payload=QUIC_REQUEST_PAYLOAD)))
+    with pytest.raises(ValueError, match="overlap"):
+        first.merge(second)
+    # the rejected merge must leave the target untouched
+    first.flush()
+    assert len(first.closed) == 1
+    assert first.source_count == 1
+
+
+def test_sessionizer_merge_overlap_detected_after_close():
+    # overlap detection covers *seen* sources, not just open sessions
+    first = Sessionizer("quic-request", timeout=60.0)
+    second = Sessionizer("quic-request", timeout=60.0)
+    classifier = TrafficClassifier()
+    first.add(classifier.classify(udp_packet(ts=0.0, src=3, payload=QUIC_REQUEST_PAYLOAD)))
+    second.add(classifier.classify(udp_packet(ts=0.0, src=3, payload=QUIC_REQUEST_PAYLOAD)))
+    first.flush()
+    second.flush()
+    with pytest.raises(ValueError, match="overlap"):
+        first.merge(second)
+
+
+def test_sessionizer_merge_rejects_mismatched_timeout():
+    with pytest.raises(ValueError, match="timeout"):
+        Sessionizer("quic-request", timeout=60.0).merge(
+            Sessionizer("quic-request", timeout=300.0)
+        )
+
+
+def test_timeout_sweep_merge_rejects_excluded_shard():
+    target = TimeoutSweep()
+    target.observe(1, 0.0)
+    shard = TimeoutSweep()
+    shard.observe(2, 0.0)
+    shard.exclude_sources({2})
+    with pytest.raises(ValueError, match="exclud"):
+        target.merge(shard)
+    assert target.source_count == 1  # target untouched
+
+
 def test_timeout_sweep_series_and_knee():
     sweep = TimeoutSweep()
     t = 0.0

@@ -122,13 +122,28 @@ def test_cli_probe():
 
 
 def test_cli_requires_command():
-    with pytest.raises(SystemExit):
-        run_cli([])
+    # usage errors come back as exit code 2, never as an exception
+    code, _out = run_cli([])
+    assert code == 2
 
 
 def test_cli_unknown_command():
-    with pytest.raises(SystemExit):
-        run_cli(["frobnicate"])
+    code, _out = run_cli(["frobnicate"])
+    assert code == 2
+
+
+def test_cli_bad_flag_value():
+    code, _out = run_cli(["report", "--hours", "not-a-number"])
+    assert code == 2
+
+
+def test_cli_version(capsys):
+    import repro
+
+    code, _out = run_cli(["--version"])
+    assert code == 0
+    captured = capsys.readouterr()  # argparse prints to sys.stdout
+    assert captured.out.strip() == f"repro {repro.__version__}"
 
 
 def test_cli_report_with_export(tmp_path):
