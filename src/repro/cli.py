@@ -12,7 +12,9 @@ Commands mirror the workflow of the paper's toolchain:
   tail-followed pcap through the incremental analyzer, printing flood
   alerts as they fire (see :mod:`repro.stream`);
 - ``table1``   — run the NGINX DoS-resiliency benchmark (Table 1);
-- ``probe``    — actively probe census servers for RETRY (Section 6).
+- ``probe``    — actively probe census servers for RETRY (Section 6);
+- ``profile``  — cProfile the generation and analysis hot paths and
+  print the top functions (optionally dumping raw pstats data).
 
 ``main`` always *returns* an exit code (usage errors included — argparse
 ``SystemExit`` is caught), so embedders get ``0`` success, ``2`` usage.
@@ -120,6 +122,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("table1", help="run the NGINX Table 1 benchmark")
+
+    profile = sub.add_parser(
+        "profile", help="cProfile the generate/analyze hot paths"
+    )
+    _scenario_args(profile)
+    profile.add_argument(
+        "--stage",
+        choices=["generate", "analyze", "both"],
+        default="both",
+        help="which pipeline stage to profile (default: both)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=25, help="print this many functions"
+    )
+    profile.add_argument(
+        "--sort",
+        choices=["cumulative", "tottime", "calls"],
+        default="cumulative",
+        help="pstats sort order",
+    )
+    profile.add_argument(
+        "--dump", help="also write the raw pstats data to this file"
+    )
 
     probe = sub.add_parser("probe", help="actively probe servers for RETRY")
     _scenario_args(probe)
@@ -266,6 +291,58 @@ def cmd_watch(args, stream) -> int:
     return 0
 
 
+def cmd_profile(args, stream) -> int:
+    """cProfile the generator and/or the analysis pipeline."""
+    import cProfile
+    import pstats
+    import time
+
+    scenario = _scenario(args)
+    profiler = cProfile.Profile()
+    profile_generate = args.stage in ("generate", "both")
+    profile_analyze = args.stage in ("analyze", "both")
+
+    start = time.perf_counter()
+    if profile_generate:
+        profiler.enable()
+        packets = list(scenario.packets())
+        profiler.disable()
+    else:
+        packets = list(scenario.packets())
+    generate_elapsed = time.perf_counter() - start
+
+    pipeline = _pipeline(scenario)
+    start = time.perf_counter()
+    if profile_analyze:
+        profiler.enable()
+        result = pipeline.process(iter(packets))
+        profiler.disable()
+    else:
+        result = pipeline.process(iter(packets))
+    analyze_elapsed = time.perf_counter() - start
+
+    count = len(packets)
+    print(
+        f"profiled stage(s): {args.stage}  ({count:,} packets, "
+        f"{len(scenario.plan.quic_floods)} planned QUIC floods)",
+        file=stream,
+    )
+    print(
+        f"generate: {generate_elapsed:.2f} s "
+        f"({count / generate_elapsed:,.0f} pps)   "
+        f"analyze: {analyze_elapsed:.2f} s "
+        f"({count / analyze_elapsed:,.0f} pps)",
+        file=stream,
+    )
+    print(f"analyzed packets: {result.total_packets:,}\n", file=stream)
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.dump:
+        stats.dump_stats(args.dump)
+        print(f"pstats dump written to {args.dump}", file=stream)
+    return 0
+
+
 def cmd_table1(_args, stream) -> int:
     headers, rows = table1_rows(run_table1())
     print(format_table(headers, rows, title="Table 1 — NGINX DoS resiliency"), file=stream)
@@ -306,6 +383,7 @@ _COMMANDS = {
     "watch": cmd_watch,
     "table1": cmd_table1,
     "probe": cmd_probe,
+    "profile": cmd_profile,
 }
 
 

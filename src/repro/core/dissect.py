@@ -19,7 +19,7 @@ that dissector, built from scratch on the :mod:`repro.quic` substrate:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.quic import tls
@@ -47,9 +47,14 @@ _GQUIC_FLAG_CID = 0x08
 MIN_GQUIC_LEN = 14
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class DissectedPacket:
-    """Summary of one QUIC packet inside a datagram."""
+    """Summary of one QUIC packet inside a datagram.
+
+    Immutable: the dissector's memo hands the *same* instance to every
+    consumer of a repeated payload, so any in-place mutation would
+    silently corrupt the dissection of later packets.
+    """
 
     packet_type: PacketType
     version: Optional[int] = None
@@ -62,12 +67,16 @@ class DissectedPacket:
     decrypted: bool = False
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class Dissection:
-    """Result of dissecting one UDP payload."""
+    """Result of dissecting one UDP payload.
+
+    Immutable and shared across cache hits, like
+    :class:`DissectedPacket`.
+    """
 
     valid: bool
-    packets: list = field(default_factory=list)
+    packets: tuple = ()
     error: Optional[str] = None
 
     @property
@@ -158,6 +167,18 @@ class QuicDissector:
     def _dissect_uncached(self, payload: bytes) -> Dissection:
         if not payload:
             return Dissection(valid=False, error="empty payload")
+        # Cheap first-byte pre-check: with neither the long-header form
+        # bit (0x80) nor the fixed bit (0x40) set, the header parser
+        # always rejects the first packet — skip parsing (and its
+        # exception overhead) for the stray-UDP bulk, and go straight to
+        # the legacy gQUIC check (whose public-flags byte also has both
+        # bits clear).  The error string matches the parser's, keeping
+        # results bit-identical.
+        if not payload[0] & 0xC0:
+            gquic = self._dissect_gquic(payload)
+            if gquic is not None:
+                return gquic
+            return Dissection(valid=False, error="short header without fixed bit")
         try:
             views = split_datagram(payload)
         except HeaderParseError as exc:
@@ -195,7 +216,7 @@ class QuicDissector:
                 )
                 continue
             packets.append(self._dissect_long(payload, view))
-        return Dissection(valid=True, packets=packets)
+        return Dissection(valid=True, packets=tuple(packets))
 
     def _dissect_gquic(self, payload: bytes) -> Optional[Dissection]:
         """Recognize legacy Google QUIC public headers (Q043/Q046).
@@ -225,44 +246,52 @@ class QuicDissector:
             dcid=payload[1:9],
             has_plain_client_hello=b"CHLO" in payload[13:40],
         )
-        return Dissection(valid=True, packets=[summary])
+        return Dissection(valid=True, packets=(summary,))
 
     def _dissect_long(self, payload: bytes, view: LongHeader) -> DissectedPacket:
         known = version_by_value(view.version)
-        summary = DissectedPacket(
-            packet_type=view.packet_type,
-            version=view.version,
-            version_name=known.name if known else None,
-            dcid=view.dcid,
-            scid=view.scid,
-            token_length=len(view.token),
+        decrypted = False
+        has_plain_client_hello = False
+        client_hello_sni: Optional[str] = None
+        unknown_version = (
+            view.version != 0 and known is None and not is_greased(view.version)
         )
-        if view.version != 0 and known is None and not is_greased(view.version):
-            # Unknown version: header-level dissection only, like
-            # Wireshark with an unsupported draft.
-            return summary
+        # Unknown versions get header-level dissection only, like
+        # Wireshark with an unsupported draft.  Client Initials are
+        # keyed on the wire DCID: decryptable.
         should_try = (
-            self.try_decrypt_initials
+            not unknown_version
+            and self.try_decrypt_initials
             and known is not None
             and known.ietf_layout
             and view.packet_type is PacketType.INITIAL
             and len(view.dcid) > 0
         )
         if should_try:
-            # Client Initials are keyed on the wire DCID: decryptable.
             try:
                 client_keys, _server_keys = derive_initial_keys(known, view.dcid)
                 _pn, frames = unprotect_initial(payload, view, client_keys)
             except (DecryptError, FrameParseError, HeaderParseError, ValueError):
-                return summary
-            summary.decrypted = True
-            stream = crypto_payload(
-                [f for f in frames if isinstance(f, CryptoFrame)]
-            )
-            if stream and tls.looks_like_client_hello(stream):
-                summary.has_plain_client_hello = True
-                try:
-                    summary.client_hello_sni = tls.ClientHello.parse(stream).server_name
-                except tls.TlsParseError:
-                    pass
-        return summary
+                frames = None
+            if frames is not None:
+                decrypted = True
+                stream = crypto_payload(
+                    [f for f in frames if isinstance(f, CryptoFrame)]
+                )
+                if stream and tls.looks_like_client_hello(stream):
+                    has_plain_client_hello = True
+                    try:
+                        client_hello_sni = tls.ClientHello.parse(stream).server_name
+                    except tls.TlsParseError:
+                        pass
+        return DissectedPacket(
+            packet_type=view.packet_type,
+            version=view.version,
+            version_name=known.name if known else None,
+            dcid=view.dcid,
+            scid=view.scid,
+            token_length=len(view.token),
+            has_plain_client_hello=has_plain_client_hello,
+            client_hello_sni=client_hello_sni,
+            decrypted=decrypted,
+        )

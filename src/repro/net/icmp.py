@@ -24,7 +24,7 @@ class IcmpType(enum.IntEnum):
     TIME_EXCEEDED = 11
 
 
-@dataclass
+@dataclass(slots=True)
 class IcmpHeader:
     icmp_type: int
     code: int = 0

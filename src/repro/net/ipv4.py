@@ -20,7 +20,7 @@ class IPProto(enum.IntEnum):
     UDP = 17
 
 
-@dataclass
+@dataclass(slots=True)
 class IPv4Header:
     """A minimal IPv4 header.
 

@@ -5,13 +5,23 @@ transport header and opaque transport payload.  Generators construct
 records directly (cheap); pcap I/O round-trips them through real wire
 bytes so that the analysis behaves identically on synthetic streams and
 on files.
+
+The record is the pipeline's hottest object: one instance per packet,
+touched by the classifier, the sessionizers, and the hourly counters.
+It is therefore slotted (no per-instance ``__dict__``) and the derived
+fields the hot path reads — addresses, ports, protocol flags — are
+computed once at construction instead of via isinstance-dispatched
+properties.  Instances stay picklable (the parallel runner ships them
+to worker processes) and equality still compares only the defining
+fields.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from repro.net import icmp, ipv4, tcp, udp
 from repro.net.addresses import format_ipv4
 from repro.net.icmp import IcmpHeader
 from repro.net.ipv4 import IPProto, IPv4Header
@@ -20,8 +30,18 @@ from repro.net.udp import UdpHeader
 
 TransportHeader = Union[UdpHeader, TcpHeader, IcmpHeader]
 
+_UDP = int(IPProto.UDP)
+_TCP = int(IPProto.TCP)
+_ICMP = int(IPProto.ICMP)
 
-@dataclass
+_TRANSPORT_HEADER_LEN = {
+    UdpHeader: udp.HEADER_LEN,
+    TcpHeader: tcp.HEADER_LEN,
+    IcmpHeader: icmp.HEADER_LEN,
+}
+
+
+@dataclass(slots=True)
 class CapturedPacket:
     """One packet as seen at the telescope."""
 
@@ -30,54 +50,43 @@ class CapturedPacket:
     transport: Optional[TransportHeader]
     payload: bytes = b""
 
-    # -- convenience accessors -------------------------------------------
+    # -- derived fields, precomputed for the per-packet hot path ---------
 
-    @property
-    def src(self) -> int:
-        return self.ip.src
+    src: int = field(init=False, repr=False, compare=False)
+    dst: int = field(init=False, repr=False, compare=False)
+    proto: int = field(init=False, repr=False, compare=False)
+    src_port: Optional[int] = field(init=False, repr=False, compare=False)
+    dst_port: Optional[int] = field(init=False, repr=False, compare=False)
+    is_udp: bool = field(init=False, repr=False, compare=False)
+    is_tcp: bool = field(init=False, repr=False, compare=False)
+    is_icmp: bool = field(init=False, repr=False, compare=False)
 
-    @property
-    def dst(self) -> int:
-        return self.ip.dst
-
-    @property
-    def proto(self) -> int:
-        return self.ip.proto
-
-    @property
-    def src_port(self) -> Optional[int]:
-        if isinstance(self.transport, (UdpHeader, TcpHeader)):
-            return self.transport.src_port
-        return None
-
-    @property
-    def dst_port(self) -> Optional[int]:
-        if isinstance(self.transport, (UdpHeader, TcpHeader)):
-            return self.transport.dst_port
-        return None
-
-    @property
-    def is_udp(self) -> bool:
-        return self.proto == IPProto.UDP
-
-    @property
-    def is_tcp(self) -> bool:
-        return self.proto == IPProto.TCP
-
-    @property
-    def is_icmp(self) -> bool:
-        return self.proto == IPProto.ICMP
+    def __post_init__(self) -> None:
+        ip = self.ip
+        proto = ip.proto
+        self.src = ip.src
+        self.dst = ip.dst
+        self.proto = proto
+        self.is_udp = proto == _UDP
+        self.is_tcp = proto == _TCP
+        self.is_icmp = proto == _ICMP
+        transport = self.transport
+        if isinstance(transport, (UdpHeader, TcpHeader)):
+            self.src_port = transport.src_port
+            self.dst_port = transport.dst_port
+        else:
+            self.src_port = None
+            self.dst_port = None
 
     # -- wire round-trip ---------------------------------------------------
 
     def to_bytes(self) -> bytes:
         """Serialize to IPv4 wire bytes (checksums filled in)."""
-        if isinstance(self.transport, UdpHeader):
-            body = self.transport.pack(self.payload, self.ip.src, self.ip.dst)
-        elif isinstance(self.transport, TcpHeader):
-            body = self.transport.pack(self.payload, self.ip.src, self.ip.dst)
-        elif isinstance(self.transport, IcmpHeader):
-            body = self.transport.pack(self.payload)
+        transport = self.transport
+        if isinstance(transport, (UdpHeader, TcpHeader)):
+            body = transport.pack(self.payload, self.ip.src, self.ip.dst)
+        elif isinstance(transport, IcmpHeader):
+            body = transport.pack(self.payload)
         else:
             body = self.payload
         return self.ip.pack(len(body)) + body
@@ -93,11 +102,11 @@ class CapturedPacket:
         transport: Optional[TransportHeader] = None
         payload = ip_payload
         try:
-            if ip.proto == IPProto.UDP:
+            if ip.proto == _UDP:
                 transport, payload = UdpHeader.parse(ip_payload)
-            elif ip.proto == IPProto.TCP:
+            elif ip.proto == _TCP:
                 transport, payload = TcpHeader.parse(ip_payload)
-            elif ip.proto == IPProto.ICMP:
+            elif ip.proto == _ICMP:
                 transport, payload = IcmpHeader.parse(ip_payload)
         except ValueError:
             transport, payload = None, ip_payload
@@ -108,13 +117,7 @@ class CapturedPacket:
         """Total IPv4 length without serializing."""
         if self.ip.total_length:
             return self.ip.total_length
-        from repro.net import icmp, ipv4, tcp, udp
-
-        transport_len = {
-            UdpHeader: udp.HEADER_LEN,
-            TcpHeader: tcp.HEADER_LEN,
-            IcmpHeader: icmp.HEADER_LEN,
-        }.get(type(self.transport), 0)
+        transport_len = _TRANSPORT_HEADER_LEN.get(type(self.transport), 0)
         return ipv4.HEADER_LEN + transport_len + len(self.payload)
 
     def __repr__(self) -> str:

@@ -22,7 +22,17 @@ LINKTYPE_RAW = 101
 SNAPLEN = 65535
 
 _GLOBAL = struct.Struct("<IHHiIII")
+_GLOBAL_BE = struct.Struct(">IHHiIII")
 _RECORD = struct.Struct("<IIII")
+_RECORD_BE = struct.Struct(">IIII")
+_U32_LE = struct.Struct("<I")
+_U32_BE = struct.Struct(">I")
+#: the little-endian magics as read by a big-endian unpack (and vice
+#: versa): a pcap written on the other byte order.
+_SWAPPED_MAGICS = {
+    _U32_BE.unpack(_U32_LE.pack(MAGIC_MICROS))[0]: MAGIC_MICROS,
+    _U32_BE.unpack(_U32_LE.pack(MAGIC_NANOS))[0]: MAGIC_NANOS,
+}
 
 
 class PcapFormatError(ValueError):
@@ -83,21 +93,18 @@ class PcapReader:
                 self._stream.seek(pos)
                 return False
             raise PcapFormatError("truncated pcap global header")
-        magic = struct.unpack("<I", header[:4])[0]
+        magic = _U32_LE.unpack_from(header)[0]
         if magic in (MAGIC_MICROS, MAGIC_NANOS):
-            endian = "<"
-        elif magic in (
-            struct.unpack(">I", struct.pack("<I", MAGIC_MICROS))[0],
-            struct.unpack(">I", struct.pack("<I", MAGIC_NANOS))[0],
-        ):
-            endian = ">"
-            magic = struct.unpack(">I", header[:4])[0]
+            global_header, record = _GLOBAL, _RECORD
+        elif magic in _SWAPPED_MAGICS:
+            magic = _SWAPPED_MAGICS[magic]
+            global_header, record = _GLOBAL_BE, _RECORD_BE
         else:
             raise PcapFormatError(f"bad pcap magic {magic:#x}")
         self._tick = 1e-9 if magic == MAGIC_NANOS else 1e-6
-        fields = struct.unpack(endian + "IHHiIII", header)
+        fields = global_header.unpack(header)
         self.linktype = fields[6]
-        self._record = struct.Struct(endian + "IIII")
+        self._record = record
         return True
 
     def __iter__(self) -> Iterator[CapturedPacket]:

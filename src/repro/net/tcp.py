@@ -27,7 +27,7 @@ class TcpFlags(enum.IntFlag):
     URG = 0x20
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpHeader:
     src_port: int
     dst_port: int

@@ -12,7 +12,7 @@ _HEADER = struct.Struct("!HHHH")
 HEADER_LEN = _HEADER.size  # 8
 
 
-@dataclass
+@dataclass(slots=True)
 class UdpHeader:
     """A UDP header; checksum is computed over the pseudo-header."""
 

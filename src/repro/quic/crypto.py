@@ -32,6 +32,7 @@ import hashlib
 import hmac
 from dataclasses import dataclass
 
+from repro.util.caching import template_cache_enabled
 from repro.quic.versions import QuicVersion
 
 HASH_LEN = 32  # SHA-256
@@ -141,7 +142,7 @@ def derive_handshake_secret(version: QuicVersion, client_dcid: bytes, label: str
 # --------------------------------------------------------------------------
 
 
-def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+def _compute_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
     out = bytearray()
     prefix = key + nonce
     counter = 0
@@ -149,6 +150,38 @@ def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
         out += hashlib.sha256(prefix + counter.to_bytes(4, "big")).digest()
         counter += 1
     return bytes(out[:length])
+
+
+_cached_keystream = functools.lru_cache(maxsize=8192)(_compute_keystream)
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Keystream for ``(key, nonce, length)``, memoized.
+
+    The stream is a pure function of its arguments, and the generators
+    seal near-identical payloads under repeating keys (template pools,
+    per-victim handshake flights), so the same triple recurs thousands
+    of times per flood.  ``REPRO_DISABLE_TEMPLATE_CACHE=1`` bypasses the
+    memo for the equivalence suite.
+    """
+    if template_cache_enabled():
+        return _cached_keystream(key, nonce, length)
+    return _compute_keystream(key, nonce, length)
+
+
+@functools.lru_cache(maxsize=1024)
+def _hmac_base(key: bytes) -> "hmac.HMAC":
+    """A keyed HMAC-SHA-256 object, processed up to (but not including)
+    the message.  ``.copy()`` of the base skips re-hashing the key blocks
+    on every seal/open; the digest is identical to a fresh ``hmac.new``.
+    """
+    return hmac.new(key, digestmod=hashlib.sha256)
+
+
+def _hmac_tag(key: bytes, message: bytes) -> bytes:
+    mac = _hmac_base(key).copy()
+    mac.update(message)
+    return mac.digest()[:AEAD_TAG_LEN]
 
 
 def _xor_bytes(a: bytes, b: bytes) -> bytes:
@@ -168,10 +201,7 @@ def aead_seal(keys: PacketKeys, packet_number: int, aad: bytes, plaintext: bytes
     nonce = _nonce(keys.iv, packet_number)
     stream = _keystream(keys.key, nonce, len(plaintext))
     ciphertext = _xor_bytes(plaintext, stream)
-    tag = hmac.new(keys.key, nonce + aad + ciphertext, hashlib.sha256).digest()[
-        :AEAD_TAG_LEN
-    ]
-    return ciphertext + tag
+    return ciphertext + _hmac_tag(keys.key, nonce + aad + ciphertext)
 
 
 def aead_open(keys: PacketKeys, packet_number: int, aad: bytes, sealed: bytes) -> bytes:
@@ -180,9 +210,7 @@ def aead_open(keys: PacketKeys, packet_number: int, aad: bytes, sealed: bytes) -
         raise DecryptError("ciphertext shorter than tag")
     ciphertext, tag = sealed[:-AEAD_TAG_LEN], sealed[-AEAD_TAG_LEN:]
     nonce = _nonce(keys.iv, packet_number)
-    expected = hmac.new(keys.key, nonce + aad + ciphertext, hashlib.sha256).digest()[
-        :AEAD_TAG_LEN
-    ]
+    expected = _hmac_tag(keys.key, nonce + aad + ciphertext)
     if not hmac.compare_digest(tag, expected):
         raise DecryptError("AEAD tag mismatch")
     stream = _keystream(keys.key, nonce, len(ciphertext))

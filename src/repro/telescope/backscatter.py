@@ -19,22 +19,83 @@ flooded at rate R" into the concrete packets:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.net.icmp import IcmpHeader, IcmpType
 from repro.net.ipv4 import IPProto, IPv4Header
 from repro.net.packet import CapturedPacket
 from repro.net.tcp import TcpFlags, TcpHeader
 from repro.net.udp import UdpHeader
+from repro.util.caching import template_cache_enabled
 from repro.util.rng import SeededRng
 from repro.quic import tls
 from repro.quic.crypto import derive_handshake_secret, derive_initial_keys
 from repro.quic.frames import AckFrame, CryptoFrame, PingFrame
 from repro.quic.header import LongHeader, PacketType
-from repro.quic.packet import PlainPacket, build_datagram
+from repro.quic.packet import PlainPacket, build_datagram, protect_packet
 from repro.quic.versions import KNOWN_VERSIONS, QUIC_V1, QuicVersion
 
 _VERSIONS_BY_NAME = {v.name: v for v in KNOWN_VERSIONS}
+
+
+class DatagramTemplateCache:
+    """Memoizes protected wire bytes keyed by template identity.
+
+    Flood responders and scanner probe builders emit the same few
+    datagrams thousands of times: the plaintext, keys, and packet
+    numbers repeat, only the spoofed destination varies.  Serializing
+    and encrypting each distinct template once and replaying the bytes
+    turns per-packet crypto into per-template crypto.
+
+    A *key* must capture every input that determines the bytes (keys
+    follow from the attacker DCID; header fields from version, SCID and
+    packet number; payload from the frame shape), which makes caching
+    transparent: hit or miss, the caller gets identical bytes, so a
+    seeded scenario is byte-identical with the cache on or off.  The
+    ``REPRO_DISABLE_TEMPLATE_CACHE=1`` escape hatch (checked per lookup)
+    turns every lookup into a rebuild for the equivalence suite.
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "_cache")
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._cache: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def get(self, key, build) -> bytes:
+        """Return the bytes for ``key``, calling ``build()`` on a miss."""
+        if not template_cache_enabled():
+            self.misses += 1
+            return build()
+        cached = self._cache.get(key)
+        if cached is None:
+            self.misses += 1
+            if len(self._cache) >= self.max_entries:
+                self._cache.clear()
+            cached = self._cache[key] = build()
+        else:
+            self.hits += 1
+        return cached
+
+
+#: Handshake/ping datagrams shared across responders (and scenario
+#: re-instantiations: repeated bench rounds, the equivalence suite).
+#: Keys are namespaced by version and a digest of the responder's TLS
+#: flight, so two victims only share entries when their protected bytes
+#: would be identical anyway.
+_RESPONSE_TEMPLATES = DatagramTemplateCache(max_entries=8192)
+
+# Hoisted flag combinations: ``IntFlag.__or__`` costs an enum lookup per
+# call, and the TCP responder builds one of these per backscatter packet.
+_SYN_ACK = TcpFlags.SYN | TcpFlags.ACK
+_RST_ACK = TcpFlags.RST | TcpFlags.ACK
 
 
 def version_named(name: str) -> QuicVersion:
@@ -68,7 +129,13 @@ class ResponderPolicy:
 class QuicVictimResponder:
     """Builds the backscatter train one victim emits per spoofed Initial."""
 
-    def __init__(self, victim_ip: int, rng: SeededRng, policy: ResponderPolicy) -> None:
+    def __init__(
+        self,
+        victim_ip: int,
+        rng: SeededRng,
+        policy: ResponderPolicy,
+        templates: Optional[DatagramTemplateCache] = None,
+    ) -> None:
         self.victim_ip = victim_ip
         self.rng = rng.child(f"responder:{victim_ip}")
         self.policy = policy
@@ -82,6 +149,17 @@ class QuicVictimResponder:
         self._dcid_pool = [
             self.rng.randbytes(8) for _ in range(max(1, policy.attacker_dcid_pool))
         ]
+        # Handshake datagrams and keep-alive pings are pure functions of
+        # (version, TLS flight, attacker DCID, SCID): the packet numbers
+        # are fixed and the keys follow from version + DCID.  The cache
+        # defaults to the module-wide one — keyed by that full tuple via
+        # ``_template_ns`` — so templates survive across floods and
+        # scenario rebuilds instead of dying with each responder.
+        self.templates = _RESPONSE_TEMPLATES if templates is None else templates
+        self._template_ns = (
+            policy.version.value,
+            hashlib.sha256(self._hs_stream).digest(),
+        )
 
     def _scid_for(self, spoofed_ip: int) -> bytes:
         if self.policy.scid_policy == "source":
@@ -127,44 +205,43 @@ class QuicVictimResponder:
             packet_number=0,
             frames=[AckFrame(0), CryptoFrame(0, server_hello.serialize())],
         )
-        hs_1 = PlainPacket(
-            header=LongHeader(
-                packet_type=PacketType.HANDSHAKE,
-                version=version.value,
-                dcid=b"",
-                scid=scid,
+        # The Initial carries the per-response ServerHello random, so it
+        # is protected fresh; its Handshake companions are templates.
+        # Coalescing is plain concatenation (no padding requested), so
+        # the cached suffix is byte-identical to an inline build.
+        ns = self._template_ns
+        datagram_1 = protect_packet(initial_packet, server_init) + self.templates.get(
+            ("hs1", ns, attacker_dcid, scid),
+            lambda: protect_packet(
+                self._handshake_packet(0, CryptoFrame(0, self._hs_stream[:first_chunk]), scid),
+                server_hs,
             ),
-            packet_number=0,
-            frames=[CryptoFrame(0, self._hs_stream[:first_chunk])],
         )
-        hs_2 = PlainPacket(
-            header=LongHeader(
-                packet_type=PacketType.HANDSHAKE,
-                version=version.value,
-                dcid=b"",
-                scid=scid,
+        datagram_2 = self.templates.get(
+            ("hs2", ns, attacker_dcid, scid),
+            lambda: build_datagram(
+                [
+                    (
+                        self._handshake_packet(
+                            1,
+                            CryptoFrame(first_chunk, self._hs_stream[first_chunk:]),
+                            scid,
+                        ),
+                        server_hs,
+                    )
+                ]
             ),
-            packet_number=1,
-            frames=[CryptoFrame(first_chunk, self._hs_stream[first_chunk:])],
         )
-        datagram_1 = build_datagram(
-            [(initial_packet, server_init), (hs_1, server_hs)]
-        )
-        datagram_2 = build_datagram([(hs_2, server_hs)])
 
         schedule = [(0.0, datagram_1), (0.002, datagram_2)]
         for i in range(self.policy.keepalive_pings):
-            ping = PlainPacket(
-                header=LongHeader(
-                    packet_type=PacketType.HANDSHAKE,
-                    version=version.value,
-                    dcid=b"",
-                    scid=scid,
+            ping_bytes = self.templates.get(
+                ("ping", ns, attacker_dcid, scid, i),
+                lambda i=i: build_datagram(
+                    [(self._handshake_packet(2 + i, PingFrame(), scid), server_hs)]
                 ),
-                packet_number=2 + i,
-                frames=[PingFrame()],
             )
-            schedule.append((0.05 * (i + 1), build_datagram([(ping, server_hs)])))
+            schedule.append((0.05 * (i + 1), ping_bytes))
         if self.rng.random() < self.policy.retransmit_probability:
             # PTO fires: the whole first datagram is retransmitted.
             schedule.append((1.0, datagram_1))
@@ -173,6 +250,18 @@ class QuicVictimResponder:
             self._packet(timestamp + delay, spoofed_ip, spoofed_port, payload)
             for delay, payload in schedule
         ]
+
+    def _handshake_packet(self, packet_number: int, frame, scid: bytes) -> PlainPacket:
+        return PlainPacket(
+            header=LongHeader(
+                packet_type=PacketType.HANDSHAKE,
+                version=self.policy.version.value,
+                dcid=b"",
+                scid=scid,
+            ),
+            packet_number=packet_number,
+            frames=[frame],
+        )
 
     def _version_negotiation(
         self, timestamp: float, spoofed_ip: int, spoofed_port: int
@@ -211,9 +300,7 @@ class TcpVictimResponder:
 
     def respond(self, timestamp: float, spoofed_ip: int, spoofed_port: int) -> list:
         flags = (
-            TcpFlags.RST | TcpFlags.ACK
-            if self.rng.random() < self.rst_fraction
-            else TcpFlags.SYN | TcpFlags.ACK
+            _RST_ACK if self.rng.random() < self.rst_fraction else _SYN_ACK
         )
         packet = CapturedPacket(
             timestamp=timestamp,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.util.timeutil import HOUR
 
@@ -35,10 +36,18 @@ class DiurnalModel:
             )
         return level
 
-    @property
+    # The mean and peak are pure in the (frozen-in-practice) shape
+    # parameters but cost 96 ``_raw`` evaluations; the generators call
+    # ``factor`` once per candidate event, so cache both normalizers.
+
+    @cached_property
     def _daily_mean(self) -> float:
         samples = [self._raw(h / 4.0) for h in range(96)]
         return sum(samples) / len(samples)
+
+    @cached_property
+    def _peak_raw(self) -> float:
+        return max(self._raw(h / 4.0) for h in range(96))
 
     def factor(self, timestamp: float) -> float:
         """Rate multiplier at an epoch timestamp (daily mean is 1.0)."""
@@ -48,9 +57,8 @@ class DiurnalModel:
     def thin_probability(self, timestamp: float) -> float:
         """Acceptance probability for thinning a homogeneous Poisson
         process at the peak rate into this profile."""
-        peak = max(self._raw(h / 4.0) for h in range(96)) / self._daily_mean
-        return self.factor(timestamp) / peak
+        return self.factor(timestamp) / self.peak_rate_factor()
 
     def peak_rate_factor(self) -> float:
         """Largest multiplier over the day (used to set thinning rates)."""
-        return max(self._raw(h / 4.0) for h in range(96)) / self._daily_mean
+        return self._peak_raw / self._daily_mean

@@ -1,0 +1,22 @@
+"""Gating for the wire-template synthesis caches.
+
+The traffic generators memoize protected datagram bytes and AEAD
+keystreams (see :class:`repro.telescope.backscatter.DatagramTemplateCache`
+and :mod:`repro.quic.crypto`).  Every cache key captures all inputs that
+determine the cached bytes, so caching never changes output — but the
+equivalence suite still proves it empirically by re-running a seeded
+scenario with ``REPRO_DISABLE_TEMPLATE_CACHE=1`` and comparing streams
+byte for byte.  The flag is read at lookup time so tests can flip it
+with ``monkeypatch.setenv`` without re-importing modules.
+"""
+
+from __future__ import annotations
+
+import os
+
+DISABLE_TEMPLATE_CACHE_ENV = "REPRO_DISABLE_TEMPLATE_CACHE"
+
+
+def template_cache_enabled() -> bool:
+    """Whether the generator-side synthesis caches are active."""
+    return not os.environ.get(DISABLE_TEMPLATE_CACHE_ENV)

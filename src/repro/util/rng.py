@@ -36,43 +36,30 @@ class SeededRng:
     def __init__(self, seed: int, label: str = "root") -> None:
         self.seed = seed
         self.label = label
-        self._random = random.Random(seed)
+        rng = self._random = random.Random(seed)
+        # Per-draw delegates are bound once instead of defined as
+        # wrapper methods: the generators draw tens of thousands of
+        # times per simulated hour and the extra call frame is pure
+        # overhead.  The draws themselves are unchanged, so streams
+        # stay identical.
+        self.random = rng.random
+        self.randint = rng.randint
+        self.uniform = rng.uniform
+        self.expovariate = rng.expovariate
+        self.lognormvariate = rng.lognormvariate
+        self.gauss = rng.gauss
+        self.choice = rng.choice
+        self.sample = rng.sample
+        self.shuffle = rng.shuffle
 
     def child(self, label: str) -> "SeededRng":
         """Return an independent generator derived from this one's seed."""
         return SeededRng(derive_seed(self.seed, label), label)
 
-    # -- thin delegating helpers ------------------------------------------
-
-    def random(self) -> float:
-        return self._random.random()
-
-    def randint(self, low: int, high: int) -> int:
-        return self._random.randint(low, high)
-
-    def uniform(self, low: float, high: float) -> float:
-        return self._random.uniform(low, high)
-
-    def expovariate(self, rate: float) -> float:
-        return self._random.expovariate(rate)
-
-    def lognormvariate(self, mu: float, sigma: float) -> float:
-        return self._random.lognormvariate(mu, sigma)
-
-    def gauss(self, mu: float, sigma: float) -> float:
-        return self._random.gauss(mu, sigma)
-
-    def choice(self, seq: Sequence[T]) -> T:
-        return self._random.choice(seq)
+    # -- remaining delegating helpers --------------------------------------
 
     def choices(self, seq: Sequence[T], weights: Sequence[float], k: int = 1) -> list[T]:
         return self._random.choices(seq, weights=weights, k=k)
-
-    def sample(self, seq: Sequence[T], k: int) -> list[T]:
-        return self._random.sample(seq, k)
-
-    def shuffle(self, seq: list) -> None:
-        self._random.shuffle(seq)
 
     def randbytes(self, n: int) -> bytes:
         return self._random.getrandbits(8 * n).to_bytes(n, "big") if n else b""

@@ -202,3 +202,40 @@ def test_gquic_requires_version_and_cid_flags(dissector, rng):
 def test_gquic_bad_version_tag_rejected(dissector, rng):
     probe = bytes([0x09]) + rng.randbytes(8) + b"ZZZZ" + bytes(20)
     assert not dissector.dissect(probe).valid
+
+
+# -- shared-cache immutability ------------------------------------------
+
+
+def test_dissect_cache_returns_shared_instance(dissector, rng):
+    client = ClientConnection(rng.child("memo"), server_name="memo.example")
+    payload = client.initial_datagram()
+    first = dissector.dissect(payload)
+    second = dissector.dissect(payload)
+    # the memo hands out the same object, which is why it must be frozen
+    assert first is second
+    assert dissector.cache_hits >= 1
+
+
+def test_dissection_results_are_frozen(dissector, rng):
+    import dataclasses
+
+    client = ClientConnection(rng.child("frozen"), server_name="frozen.example")
+    dissection = dissector.dissect(client.initial_datagram())
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        dissection.valid = False
+    summary = dissection.packets[0]
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        summary.decrypted = False
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        summary.dcid = b"mutated"
+    # results carry tuples, not lists: no in-place append possible
+    assert isinstance(dissection.packets, tuple)
+
+
+def test_non_quic_precheck_matches_parser_error(dissector):
+    # First byte with neither 0x80 nor 0x40: the pre-check shortcut must
+    # report the exact error the header parser raises on the slow path.
+    dissection = dissector.dissect(b"\x00" + b"A" * 40)
+    assert not dissection.valid
+    assert dissection.error == "short header without fixed bit"

@@ -1,6 +1,7 @@
 """Tests for CapturedPacket wire round-trips and pcap I/O."""
 
 import io
+import pickle
 import struct
 
 import pytest
@@ -69,6 +70,56 @@ def test_wire_roundtrip_tcp():
 def test_wire_length_matches_serialization():
     p = _udp_packet()
     assert p.wire_length == len(p.to_bytes())
+
+
+def test_wire_roundtrip_icmp():
+    p = CapturedPacket(
+        7.0,
+        IPv4Header(SRC, DST, IPProto.ICMP),
+        IcmpHeader(IcmpType.ECHO_REPLY, identifier=9, sequence=3),
+        b"echo-body",
+    )
+    q = CapturedPacket.from_bytes(7.0, p.to_bytes())
+    assert q.is_icmp and q.proto == int(IPProto.ICMP)
+    assert q.transport.identifier == 9
+    assert q.transport.sequence == 3
+    assert q.payload == b"echo-body"
+
+
+def test_wire_roundtrip_unknown_proto():
+    p = CapturedPacket(8.0, IPv4Header(SRC, DST, proto=47), None, b"gre-ish")
+    q = CapturedPacket.from_bytes(8.0, p.to_bytes())
+    assert q.transport is None
+    assert q.payload == b"gre-ish"
+    assert q.src_port is None and q.dst_port is None
+    assert not (q.is_udp or q.is_tcp or q.is_icmp)
+
+
+def test_captured_packet_is_slotted():
+    # The hot-path record must never grow a per-instance __dict__.
+    p = _udp_packet()
+    assert not hasattr(p, "__dict__")
+    with pytest.raises(AttributeError):
+        p.unexpected_attribute = 1
+
+
+def test_captured_packet_picklable():
+    # The parallel runner ships records to worker processes.
+    for p in (
+        _udp_packet(),
+        CapturedPacket(
+            1.0, IPv4Header(SRC, DST, IPProto.TCP), TcpHeader(443, 9999)
+        ),
+        CapturedPacket(
+            2.0, IPv4Header(SRC, DST, IPProto.ICMP), IcmpHeader(IcmpType.ECHO_REPLY)
+        ),
+        CapturedPacket(3.0, IPv4Header(SRC, DST, proto=47), None, b"raw"),
+    ):
+        q = pickle.loads(pickle.dumps(p))
+        assert q == p
+        assert q.src_port == p.src_port
+        assert (q.is_udp, q.is_tcp, q.is_icmp) == (p.is_udp, p.is_tcp, p.is_icmp)
+        assert q.to_bytes() == p.to_bytes()
 
 
 def test_unknown_transport_keeps_payload():

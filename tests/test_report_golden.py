@@ -39,6 +39,18 @@ def test_report_matches_golden():
     text = render_report()
     if os.environ.get("REPRO_REGEN_GOLDEN"):
         GOLDEN.write_text(text)
+    _assert_matches_golden(text)
+
+
+def test_report_matches_golden_with_template_cache_disabled(monkeypatch):
+    """The wire-template caches must not leak into the output: the same
+    scenario rendered with every cache bypassed still matches the same
+    golden snapshot byte for byte."""
+    monkeypatch.setenv("REPRO_DISABLE_TEMPLATE_CACHE", "1")
+    _assert_matches_golden(render_report())
+
+
+def _assert_matches_golden(text):
     golden = GOLDEN.read_text()
     if text != golden:
         diff = "\n".join(

@@ -1,0 +1,159 @@
+"""Equivalence contract of the wire-template synthesis caches.
+
+The template caches (:class:`DatagramTemplateCache`, the keystream
+memo) only replay bytes whose inputs are fully captured by the cache
+key, so a seeded scenario must produce *byte-identical* packet streams
+— and bit-identical analysis results — with the caches enabled or
+disabled via ``REPRO_DISABLE_TEMPLATE_CACHE=1``.  These tests pin that
+contract; any cache key that misses a byte-determining input shows up
+here as a diff.
+"""
+
+import pytest
+
+from repro.core import QuicsandPipeline
+from repro.core.report import build_report
+from repro.telescope import Scenario, ScenarioConfig
+from repro.telescope.backscatter import (
+    DatagramTemplateCache,
+    QuicVictimResponder,
+    ResponderPolicy,
+)
+from repro.util.caching import DISABLE_TEMPLATE_CACHE_ENV, template_cache_enabled
+from repro.util.rng import SeededRng
+from repro.util.timeutil import HOUR
+
+
+def _scenario():
+    return Scenario(
+        ScenarioConfig(seed=11, duration=1 * HOUR, research_sample=1 / 2048)
+    )
+
+
+def _capture(scenario):
+    return [(p.timestamp, p.to_bytes()) for p in scenario.packets()]
+
+
+def _analyze(scenario):
+    pipeline = QuicsandPipeline(
+        registry=scenario.internet.registry,
+        census=scenario.internet.census,
+        greynoise=scenario.internet.greynoise,
+    )
+    return pipeline.process(scenario.packets())
+
+
+# -- cache gate --------------------------------------------------------
+
+
+def test_cache_enabled_by_default(monkeypatch):
+    monkeypatch.delenv(DISABLE_TEMPLATE_CACHE_ENV, raising=False)
+    assert template_cache_enabled()
+    monkeypatch.setenv(DISABLE_TEMPLATE_CACHE_ENV, "1")
+    assert not template_cache_enabled()
+
+
+# -- DatagramTemplateCache unit behaviour ------------------------------
+
+
+def test_template_cache_hit_miss_accounting():
+    cache = DatagramTemplateCache()
+    calls = []
+
+    def build():
+        calls.append(1)
+        return b"wire-bytes"
+
+    assert cache.get(("k",), build) == b"wire-bytes"
+    assert cache.get(("k",), build) == b"wire-bytes"
+    assert len(calls) == 1
+    assert cache.misses == 1
+    assert cache.hits == 1
+    assert len(cache) == 1
+
+
+def test_template_cache_disabled_always_rebuilds(monkeypatch):
+    monkeypatch.setenv(DISABLE_TEMPLATE_CACHE_ENV, "1")
+    cache = DatagramTemplateCache()
+    calls = []
+
+    def build():
+        calls.append(1)
+        return b"wire-bytes"
+
+    assert cache.get(("k",), build) == b"wire-bytes"
+    assert cache.get(("k",), build) == b"wire-bytes"
+    assert len(calls) == 2
+    assert cache.hits == 0
+    assert len(cache) == 0
+
+
+def test_template_cache_bounded():
+    cache = DatagramTemplateCache(max_entries=4)
+    for i in range(10):
+        cache.get(("k", i), lambda i=i: bytes([i]))
+    assert len(cache) <= 4
+    # evicted entries rebuild with identical bytes
+    assert cache.get(("k", 0), lambda: bytes([0])) == b"\x00"
+
+
+# -- responder equivalence ---------------------------------------------
+
+
+def _respond_train(monkeypatch, disabled: bool):
+    if disabled:
+        monkeypatch.setenv(DISABLE_TEMPLATE_CACHE_ENV, "1")
+    else:
+        monkeypatch.delenv(DISABLE_TEMPLATE_CACHE_ENV, raising=False)
+    responder = QuicVictimResponder(
+        victim_ip=0x08080808,
+        rng=SeededRng(42),
+        policy=ResponderPolicy(
+            scid_policy="source", keepalive_pings=2, attacker_dcid_pool=2
+        ),
+        templates=DatagramTemplateCache(),
+    )
+    packets = []
+    for i in range(8):
+        packets += responder.respond(float(i), 0x0A000001, 4000 + i)
+    return responder, [(p.timestamp, p.to_bytes()) for p in packets]
+
+def test_responder_bytes_identical_cache_on_vs_off(monkeypatch):
+    responder_on, train_on = _respond_train(monkeypatch, disabled=False)
+    responder_off, train_off = _respond_train(monkeypatch, disabled=True)
+    assert train_on == train_off
+    # under a "source" SCID policy the per-(dcid, scid) templates repeat
+    assert responder_on.templates.hits > 0
+    assert responder_off.templates.hits == 0
+
+
+# -- scenario-level equivalence ----------------------------------------
+
+
+def test_scenario_stream_bytes_identical_cache_on_vs_off(monkeypatch):
+    monkeypatch.delenv(DISABLE_TEMPLATE_CACHE_ENV, raising=False)
+    enabled = _capture(_scenario())
+    monkeypatch.setenv(DISABLE_TEMPLATE_CACHE_ENV, "1")
+    disabled = _capture(_scenario())
+    assert len(enabled) == len(disabled)
+    assert enabled == disabled
+
+
+def test_pipeline_result_identical_cache_on_vs_off(monkeypatch):
+    monkeypatch.delenv(DISABLE_TEMPLATE_CACHE_ENV, raising=False)
+    scenario = _scenario()
+    result_on = _analyze(scenario)
+    report_on = build_report(
+        result_on, research_weight=scenario.truth.research_weight
+    )
+    monkeypatch.setenv(DISABLE_TEMPLATE_CACHE_ENV, "1")
+    scenario = _scenario()
+    result_off = _analyze(scenario)
+    report_off = build_report(
+        result_off, research_weight=scenario.truth.research_weight
+    )
+    assert result_on.total_packets == result_off.total_packets
+    assert result_on.class_counts == result_off.class_counts
+    assert result_on.hourly_requests == result_off.hourly_requests
+    assert result_on.hourly_responses == result_off.hourly_responses
+    assert report_on == report_off
