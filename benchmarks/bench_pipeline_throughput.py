@@ -12,7 +12,10 @@ trajectory so speedups are tracked across revisions:
 - ``analyze_pps``   — the serial classify+dissect+sessionize path
   (kept in the legacy ``serial_pps`` field as well, so the trajectory
   stays comparable across revisions);
-- ``e2e_pps``       — generation and serial analysis end to end.
+- ``e2e_pps``       — generation and serial analysis end to end;
+- ``metrics_e2e_pps`` — the same end-to-end path with the ``repro.obs``
+  registry recording, guarding the instrumentation's disabled-by-default
+  contract: metrics-on must stay within 5% of metrics-off throughput.
 
 The source-sharded parallel path (``workers=4``) is only measured when
 the machine actually has multiple CPUs; on a 1-core runner the fork+IPC
@@ -29,6 +32,7 @@ import os
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.core import AnalysisConfig, QuicsandPipeline
 from repro.telescope import Scenario, ScenarioConfig
 from repro.util.timeutil import HOUR
@@ -96,6 +100,32 @@ def test_pipeline_throughput(emit, benchmark):
     analyze_rate = len(packets) / analyze_time
     e2e_rate = len(packets) / (generate_time + analyze_time)
 
+    # -- observability overhead: same e2e path, registry recording ------
+    # Instrumentation publishes at batch/stage boundaries only, so the
+    # enabled path must stay within noise of the disabled one.
+    obs_was = obs.enabled()
+    obs.REGISTRY.reset()
+    obs.enable()
+    try:
+        metrics_generate_times = []
+        metrics_analyze_times = []
+        for _ in range(TIMING_ROUNDS):
+            start = time.perf_counter()
+            count = sum(1 for _ in Scenario(_scenario_config()).packets())
+            metrics_generate_times.append(time.perf_counter() - start)
+            assert count == len(packets)
+            start = time.perf_counter()
+            metrics_result = _run(scenario, packets, workers=1)
+            metrics_analyze_times.append(time.perf_counter() - start)
+        recorded = obs.REGISTRY.get("repro_pipeline_packets_total").value()
+    finally:
+        obs.REGISTRY.reset()
+        obs.set_enabled(obs_was)
+    metrics_e2e_rate = len(packets) / (
+        min(metrics_generate_times) + min(metrics_analyze_times)
+    )
+    overhead = 1.0 - metrics_e2e_rate / e2e_rate
+
     # -- parallel analysis (only meaningful on real parallel hardware) --
     parallel_rate = None
     speedup = None
@@ -127,6 +157,8 @@ def test_pipeline_throughput(emit, benchmark):
                 "parallel_pps": None if parallel_rate is None else round(parallel_rate),
                 "speedup": None if speedup is None else round(speedup, 3),
                 "dissect_cache_hit_rate": round(hit_rate, 4),
+                "metrics_e2e_pps": round(metrics_e2e_rate),
+                "metrics_overhead": round(overhead, 4),
             }
         )
     parallel_line = (
@@ -142,6 +174,8 @@ def test_pipeline_throughput(emit, benchmark):
         f"generation throughput: {generate_rate:,.0f} packets/s\n"
         f"serial analysis throughput: {analyze_rate:,.0f} packets/s\n"
         f"end-to-end (generate + analyze): {e2e_rate:,.0f} packets/s\n"
+        f"end-to-end with metrics on: {metrics_e2e_rate:,.0f} packets/s "
+        f"({overhead * 100:+.1f}% overhead)\n"
         + parallel_line
         + f"dissector cache hit rate: {hit_rate * 100:.1f}% "
         f"({hits:,} hits / {misses:,} misses)\n"
@@ -151,10 +185,18 @@ def test_pipeline_throughput(emit, benchmark):
     assert result.total_packets == len(packets)
     if parallel_result is not None:
         assert parallel_result.total_packets == len(packets)
+    # metrics-on runs record the stream and analyze it identically
+    assert recorded == len(packets) * TIMING_ROUNDS
+    assert metrics_result.total_packets == len(packets)
     if QUICK:
         return  # smoke run: correctness only, no perf assertions
     assert analyze_rate > 5_000
     assert generate_rate > 5_000
+    # the observability contract: instrumentation stays within noise
+    assert metrics_e2e_rate >= 0.95 * e2e_rate, (
+        f"metrics-on e2e {metrics_e2e_rate:,.0f} pps fell more than 5% below "
+        f"metrics-off {e2e_rate:,.0f} pps"
+    )
     if cpus >= 2:
         # the smoke bound: sharding must never cost throughput where
         # there is real parallel hardware

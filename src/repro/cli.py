@@ -14,7 +14,15 @@ Commands mirror the workflow of the paper's toolchain:
 - ``table1``   — run the NGINX DoS-resiliency benchmark (Table 1);
 - ``probe``    — actively probe census servers for RETRY (Section 6);
 - ``profile``  — cProfile the generation and analysis hot paths and
-  print the top functions (optionally dumping raw pstats data).
+  print the top functions (optionally dumping raw pstats data);
+- ``stats``    — render the human summary of a metrics JSON file
+  written by ``--metrics-out`` (see :mod:`repro.obs`).
+
+``analyze``, ``report`` and ``watch`` accept ``--metrics-out FILE``:
+it enables the observability registry for the run and writes both the
+Prometheus text exposition and the JSON export next to each other
+(``FILE.prom`` + ``FILE.json``; see ``docs/METRICS.md`` for the metric
+reference).
 
 ``main`` always *returns* an exit code (usage errors included — argparse
 ``SystemExit`` is caught), so embedders get ``0`` success, ``2`` usage.
@@ -26,6 +34,7 @@ import argparse
 import sys
 from typing import Optional
 
+from repro import obs
 from repro.core import AnalysisConfig, QuicsandPipeline
 from repro.core.export import export_results
 from repro.core.report import build_report
@@ -75,12 +84,14 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--report-out", help="also write the report to a file")
     analyze.add_argument("--export", help="write per-figure CSV/JSON data here")
     _workers_arg(analyze)
+    _metrics_arg(analyze)
 
     report = sub.add_parser("report", help="simulate and analyze in one step")
     _scenario_args(report)
     report.add_argument("--report-out", help="also write the report to a file")
     report.add_argument("--export", help="write per-figure CSV/JSON data here")
     _workers_arg(report)
+    _metrics_arg(report)
 
     watch = sub.add_parser(
         "watch", help="online monitor: live flood alerts over a packet feed"
@@ -119,6 +130,15 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1800.0,
         help="status-line interval in event-time seconds (0 = off)",
+    )
+    _metrics_arg(watch)
+
+    stats = sub.add_parser(
+        "stats", help="render a human summary of a --metrics-out JSON file"
+    )
+    stats.add_argument(
+        "metrics",
+        help="metrics JSON file written by analyze/report/watch --metrics-out",
     )
 
     sub.add_parser("table1", help="run the NGINX Table 1 benchmark")
@@ -174,6 +194,26 @@ def _workers_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _metrics_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        help="enable the observability registry and write Prometheus "
+        "text + JSON metric exports to this path (.prom/.json pair; "
+        "render with `repro stats FILE.json`)",
+    )
+
+
+def _maybe_enable_metrics(args) -> None:
+    if getattr(args, "metrics_out", None):
+        obs.enable()
+
+
+def _maybe_write_metrics(args, stream) -> None:
+    if getattr(args, "metrics_out", None):
+        files = obs.write_metrics(args.metrics_out)
+        print(f"\nmetrics written to {' and '.join(files)}", file=stream)
+
+
 def _scenario(args: argparse.Namespace) -> Scenario:
     config = ScenarioConfig(
         seed=args.seed,
@@ -219,20 +259,33 @@ def cmd_simulate(args, stream) -> int:
 
 
 def cmd_analyze(args, stream) -> int:
+    _maybe_enable_metrics(args)
     scenario = None if args.no_correlation else _scenario(args)
     pipeline = _pipeline(scenario, workers=args.workers)
     result = pipeline.process(read_pcap(args.pcap))
     _emit_report(result, scenario, args.report_out, stream)
     _maybe_export(result, args, stream)
+    _maybe_write_metrics(args, stream)
     return 0
 
 
 def cmd_report(args, stream) -> int:
+    _maybe_enable_metrics(args)
     scenario = _scenario(args)
     pipeline = _pipeline(scenario, workers=args.workers)
     result = pipeline.process(scenario.packets())
     _emit_report(result, scenario, args.report_out, stream)
     _maybe_export(result, args, stream)
+    _maybe_write_metrics(args, stream)
+    return 0
+
+
+def cmd_stats(args, stream) -> int:
+    try:
+        print(obs.render_summary(args.metrics), file=stream)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot render {args.metrics}: {exc}", file=stream)
+        return 2
     return 0
 
 
@@ -245,6 +298,7 @@ def _maybe_export(result, args, stream) -> None:
 def cmd_watch(args, stream) -> int:
     from repro.stream import StreamAnalyzer, StreamConfig, follow_pcap
 
+    _maybe_enable_metrics(args)
     scenario = _scenario(args)
     analyzer = StreamAnalyzer(
         registry=scenario.internet.registry,
@@ -288,6 +342,7 @@ def cmd_watch(args, stream) -> int:
         _emit_report(analyzer.result(), scenario, None, stream)
     else:
         print(analyzer.stream_report(), file=stream)
+    _maybe_write_metrics(args, stream)
     return 0
 
 
@@ -384,6 +439,7 @@ _COMMANDS = {
     "table1": cmd_table1,
     "probe": cmd_probe,
     "profile": cmd_profile,
+    "stats": cmd_stats,
 }
 
 

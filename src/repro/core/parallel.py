@@ -28,6 +28,7 @@ import queue as queue_module
 import traceback
 from typing import Iterable, Optional
 
+from repro import obs
 from repro.net.icmp import IcmpHeader
 from repro.net.ipv4 import IPv4Header
 from repro.net.packet import CapturedPacket
@@ -35,6 +36,29 @@ from repro.net.tcp import TcpHeader
 from repro.net.udp import UdpHeader
 from repro.core.classify import TrafficClassifier
 from repro.core.pipeline import AnalysisConfig, PartialState
+
+# Worker processes publish into their own (reset-after-fork) registry
+# and ship one snapshot back with their partial state; the parent
+# merges each snapshot exactly once, in shard-index order, so parallel
+# metric totals equal serial totals (tests/test_obs_parallel.py).
+_M_SHARD_PACKETS = obs.counter(
+    "repro_parallel_shard_packets_total",
+    "packets consumed per shard worker",
+    labels=("worker",),
+)
+_M_SHARD_BATCHES = obs.counter(
+    "repro_parallel_shard_batches_total",
+    "IPC batches consumed per shard worker",
+    labels=("worker",),
+)
+_M_WORKERS = obs.gauge(
+    "repro_parallel_workers",
+    "worker processes of the most recent sharded run",
+)
+_M_MERGE = obs.histogram(
+    "repro_parallel_merge_seconds",
+    "wall seconds merging all shard partial states",
+)
 
 DEFAULT_BATCH = 512
 #: per-worker input queue depth, in batches — bounds parent-side memory
@@ -104,23 +128,39 @@ def decode_packet(record: tuple) -> CapturedPacket:
 # -- worker process --------------------------------------------------------
 
 
-def _shard_worker(index, config, in_queue, out_queue) -> None:
+def _shard_worker(index, config, in_queue, out_queue, metrics_enabled=False) -> None:
     """Consume encoded batches until the ``None`` sentinel, then ship
-    the flushed partial state back to the parent."""
+    the flushed partial state (plus a metrics snapshot) to the parent.
+
+    The fork start method copies the parent's registry values into the
+    child, so the first thing a worker does is reset its registry —
+    the snapshot it ships then carries only this worker's deltas and
+    the parent's merge is exactly-once by construction.
+    """
     try:
+        obs.REGISTRY.reset()
+        obs.set_enabled(metrics_enabled)
         classifier = TrafficClassifier(dissect_payloads=config.dissect_payloads)
         state = PartialState.initial(config)
         decode = decode_packet
+        batches = 0
         while True:
             batch = in_queue.get()
             if batch is None:
                 break
+            batches += 1
             state.consume([decode(record) for record in batch], classifier)
         state.record_classifier(classifier)
         state.close()
-        out_queue.put((index, state, None))
+        if obs.enabled():
+            _M_SHARD_PACKETS.inc(state.total_packets, worker=str(index))
+            _M_SHARD_BATCHES.inc(batches, worker=str(index))
+            snapshot = obs.REGISTRY.snapshot(run_collectors=False)
+        else:
+            snapshot = None
+        out_queue.put((index, state, snapshot, None))
     except BaseException:
-        out_queue.put((index, None, traceback.format_exc()))
+        out_queue.put((index, None, None, traceback.format_exc()))
 
 
 def _default_start_method() -> str:
@@ -158,7 +198,7 @@ def run_sharded(
     processes = [
         ctx.Process(
             target=_shard_worker,
-            args=(index, config, in_queues[index], out_queue),
+            args=(index, config, in_queues[index], out_queue, obs.enabled()),
             name=f"quicsand-shard-{index}",
             daemon=True,
         )
@@ -181,10 +221,11 @@ def run_sharded(
                 _put_with_liveness(in_queues[shard], buffer, processes[shard])
             _put_with_liveness(in_queues[shard], None, processes[shard])
         states: list = [None] * workers
+        snapshots: list = [None] * workers
         pending = set(range(workers))
         while pending:
             try:
-                index, state, error = out_queue.get(timeout=1.0)
+                index, state, snapshot, error = out_queue.get(timeout=1.0)
             except queue_module.Empty:
                 for index in list(pending):
                     process = processes[index]
@@ -197,6 +238,7 @@ def run_sharded(
             if error is not None:
                 raise RuntimeError(f"shard worker {index} failed:\n{error}")
             states[index] = state
+            snapshots[index] = snapshot
             pending.discard(index)
     finally:
         for process in processes:
@@ -205,7 +247,12 @@ def run_sharded(
                 process.terminate()
     # merge in shard-index order: deterministic regardless of which
     # worker finished first
-    merged = states[0]
-    for state in states[1:]:
-        merged.merge(state)
+    _M_WORKERS.set(workers)
+    with obs.span(_M_MERGE):
+        merged = states[0]
+        for state in states[1:]:
+            merged.merge(state)
+    for snapshot in snapshots:
+        if snapshot is not None:
+            obs.REGISTRY.merge_snapshot(snapshot)
     return merged

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro import obs
 from repro.internet.activescan import ActiveScanCensus
 from repro.internet.asn import AsRegistry, NetworkType
 from repro.internet.greynoise import GreyNoisePlatform
@@ -45,6 +46,56 @@ from repro.core.retry_audit import RetryAudit, audit_retry
 from repro.core.scid import fingerprint_attacks, provider_profiles
 from repro.core.sessions import DEFAULT_TIMEOUT, Sessionizer, TimeoutSweep
 from repro.core.victims import VictimAnalysis, analyze_victims, session_network_types
+
+# -- observability ----------------------------------------------------------
+#
+# Publication happens at *boundaries* (per batch, per classifier fold,
+# per finalization step), never per packet: the hot loop keeps plain
+# ints and the metrics layer sees them in bulk, so a metrics-on run
+# stays within noise of a metrics-off run (asserted by the throughput
+# bench).  The full catalog lives in docs/METRICS.md.
+
+_M_PACKETS = obs.counter(
+    "repro_pipeline_packets_total",
+    "packets consumed by the per-packet phase (all classes)",
+)
+_M_BATCHES = obs.counter(
+    "repro_pipeline_batches_total",
+    "dispatch batches consumed by the per-packet phase",
+)
+_M_CLASS = obs.counter(
+    "repro_pipeline_classified_total",
+    "packets per traffic class (classifier counters, folded at stream end)",
+    labels=("klass",),
+)
+_M_SESSIONS = obs.counter(
+    "repro_pipeline_sessions_total",
+    "closed sessions entering finalization, per traffic class "
+    "(request sessions counted before research-scanner sanitization)",
+    labels=("klass",),
+)
+_M_ATTACKS = obs.counter(
+    "repro_pipeline_attacks_total",
+    "flood events detected at finalization, per vector",
+    labels=("vector",),
+)
+_M_RESEARCH = obs.counter(
+    "repro_pipeline_research_sources_total",
+    "sources identified as research scanners at finalization",
+)
+_M_STAGE = obs.histogram(
+    "repro_pipeline_stage_seconds",
+    "wall seconds per pipeline stage",
+    labels=("stage",),
+)
+_M_DISSECT_HITS = obs.counter(
+    "repro_dissect_cache_hits_total",
+    "dissector memo hits (payload seen before)",
+)
+_M_DISSECT_MISSES = obs.counter(
+    "repro_dissect_cache_misses_total",
+    "dissector memo misses (payload dissected from bytes)",
+)
 
 
 @dataclass
@@ -256,15 +307,29 @@ class PartialState:
         self.response_long_header_packets += response_long
         self.response_empty_dcid_packets += response_empty_dcid
         self.passive_retry_packets += retry_packets
+        _M_PACKETS.inc(len(packets))
+        _M_BATCHES.inc()
 
     def record_classifier(self, classifier: TrafficClassifier) -> None:
-        """Fold the classifier's counters into the partial state."""
+        """Fold the classifier's counters into the partial state.
+
+        Called exactly once per classifier lifetime (serial stream end,
+        worker shard end, monitor ``finish()``), which also makes it the
+        exactly-once publication point for the classifier-owned metrics:
+        per-class packet counts and the dissector-memo hit/miss split.
+        """
         for packet_class, count in classifier.counters.items():
             self.class_counts[packet_class] = (
                 self.class_counts.get(packet_class, 0) + count
             )
+            if count:
+                _M_CLASS.inc(count, klass=packet_class.value)
         self.cache_hits += classifier.cache_hits
         self.cache_misses += classifier.cache_misses
+        if classifier.cache_hits:
+            _M_DISSECT_HITS.inc(classifier.cache_hits)
+        if classifier.cache_misses:
+            _M_DISSECT_MISSES.inc(classifier.cache_misses)
 
     def close(self) -> None:
         """End of shard stream: close every open session."""
@@ -360,16 +425,20 @@ class QuicsandPipeline:
         if workers > 1:
             from repro.core.parallel import run_sharded
 
-            state = run_sharded(
-                stream, cfg, workers=workers, batch_size=cfg.batch_size
-            )
+            with obs.span(_M_STAGE, stage="per-packet-parallel"):
+                state = run_sharded(
+                    stream, cfg, workers=workers, batch_size=cfg.batch_size
+                )
         else:
-            state = PartialState.initial(cfg)
-            classifier = TrafficClassifier(dissect_payloads=cfg.dissect_payloads)
-            for batch in batched(stream, cfg.batch_size):
-                state.consume(batch, classifier)
-            state.record_classifier(classifier)
-            state.close()
+            with obs.span(_M_STAGE, stage="per-packet-serial"):
+                state = PartialState.initial(cfg)
+                classifier = TrafficClassifier(
+                    dissect_payloads=cfg.dissect_payloads
+                )
+                for batch in batched(stream, cfg.batch_size):
+                    state.consume(batch, classifier)
+                state.record_classifier(classifier)
+                state.close()
         return self._finalize(state)
 
     def finalize_state(self, state: PartialState) -> PipelineResult:
@@ -380,6 +449,10 @@ class QuicsandPipeline:
 
     def _finalize(self, state: PartialState) -> PipelineResult:
         """Run the once-per-capture steps on the (merged) state."""
+        with obs.span(_M_STAGE, stage="finalize"):
+            return self._finalize_timed(state)
+
+    def _finalize_timed(self, state: PartialState) -> PipelineResult:
         state.canonicalize()
         class_counts = {
             cls.value: n for cls, n in state.class_counts.items() if n
@@ -402,14 +475,20 @@ class QuicsandPipeline:
             hourly_requests=state.hourly_requests,
             hourly_responses=state.hourly_responses,
         )
-        self._identify_research(
-            result, state.quic_source_packets, state.per_source_hourly
-        )
+        with obs.span(_M_STAGE, stage="identify-research"):
+            self._identify_research(
+                result, state.quic_source_packets, state.per_source_hourly
+            )
         state.sweep.exclude_sources(result.research_sources)
         result.timeout_sweep = state.sweep
-        self._collect_sessions(result, state.sessionizers)
-        self._detect_attacks(result)
-        self._correlate(result)
+        with obs.span(_M_STAGE, stage="collect-sessions"):
+            self._collect_sessions(result, state.sessionizers)
+        with obs.span(_M_STAGE, stage="detect-attacks"):
+            self._detect_attacks(result)
+        with obs.span(_M_STAGE, stage="correlate"):
+            self._correlate(result)
+        if obs.enabled():
+            _M_RESEARCH.inc(len(result.research_sources))
         return result
 
     # -- finalization steps ----------------------------------------------
@@ -451,6 +530,12 @@ class QuicsandPipeline:
                     del result.hourly_requests[hour]
 
     def _collect_sessions(self, result: PipelineResult, sessionizers: dict) -> None:
+        if obs.enabled():
+            for packet_class, sessionizer in sessionizers.items():
+                if sessionizer.closed:
+                    _M_SESSIONS.inc(
+                        len(sessionizer.closed), klass=packet_class.value
+                    )
         research = result.research_sources
         result.request_sessions = [
             s
@@ -484,6 +569,12 @@ class QuicsandPipeline:
         result.common_detector = DosDetector(self.config.thresholds)
         result.common_detector.detect_all(result.tcp_sessions)
         result.common_detector.detect_all(result.icmp_sessions)
+        if obs.enabled():
+            vectors: dict = {}
+            for attack in result.quic_attacks + result.common_attacks:
+                vectors[attack.vector] = vectors.get(attack.vector, 0) + 1
+            for vector, count in vectors.items():
+                _M_ATTACKS.inc(count, vector=vector)
 
     def _correlate(self, result: PipelineResult) -> None:
         result.multivector = correlate_attacks(

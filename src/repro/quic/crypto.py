@@ -154,6 +154,38 @@ def _compute_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
 
 _cached_keystream = functools.lru_cache(maxsize=8192)(_compute_keystream)
 
+# Pull-style cache metrics: the memo keeps its own tallies (lru_cache's
+# CacheInfo); a registry collector publishes them at export time so the
+# seal/open hot path never touches the metrics layer.  Shared family
+# with the datagram template caches (labelled per cache).
+from repro import obs as _obs  # noqa: E402  (after the cache it observes)
+
+_M_CACHE_HITS = _obs.counter(
+    "repro_template_cache_hits_total",
+    "wire-template / keystream cache hits, per cache",
+    labels=("cache",),
+)
+_M_CACHE_MISSES = _obs.counter(
+    "repro_template_cache_misses_total",
+    "wire-template / keystream cache misses (fresh builds), per cache",
+    labels=("cache",),
+)
+_M_CACHE_SIZE = _obs.gauge(
+    "repro_template_cache_size",
+    "entries currently held, per cache",
+    labels=("cache",),
+)
+
+
+def _collect_keystream_metrics() -> None:
+    info = _cached_keystream.cache_info()
+    _M_CACHE_HITS.set_total(info.hits, cache="keystream")
+    _M_CACHE_MISSES.set_total(info.misses, cache="keystream")
+    _M_CACHE_SIZE.set(info.currsize, cache="keystream")
+
+
+_obs.REGISTRY.add_collector(_collect_keystream_metrics)
+
 
 def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
     """Keystream for ``(key, nonce, length)``, memoized.

@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
+from repro import obs
 from repro.core.classify import PacketClass, TrafficClassifier
 from repro.core.dos import DosDetector
 from repro.core.pipeline import AnalysisConfig, PartialState, PipelineResult, QuicsandPipeline
@@ -53,6 +54,61 @@ _BACKSCATTER_CLASSES = (
     PacketClass.QUIC_RESPONSE,
     PacketClass.TCP_BACKSCATTER,
     PacketClass.ICMP_BACKSCATTER,
+)
+
+# The monitor's observability surface.  :class:`StreamTelemetry` stays
+# as the in-process view (status lines, tests poke at its fields); the
+# ``repro.obs`` metrics below are the *export* surface — updated at
+# batch boundaries and on (rare) alert/eviction events, never per
+# packet, and absorbed into `--metrics-out` / `repro stats` output.
+_M_BATCH = obs.histogram(
+    "repro_stream_batch_seconds",
+    "wall seconds per monitor batch (consume + expiry + drain)",
+)
+_M_LAG = obs.histogram(
+    "repro_stream_watermark_lag_seconds",
+    "event-time lag from newest packet to the watermark, per batch",
+    buckets=obs.LATENCY_BUCKETS,
+)
+_M_ALERT_LATENCY = obs.histogram(
+    "repro_stream_alert_latency_seconds",
+    "event-time delay from threshold crossing to alert emission",
+    buckets=obs.LATENCY_BUCKETS,
+)
+_M_ALERTS = obs.counter(
+    "repro_stream_alerts_total",
+    "flood alerts fired, per vector",
+    labels=("vector",),
+)
+_M_ENDED = obs.counter(
+    "repro_stream_attacks_ended_total",
+    "flood-ended events emitted, per vector",
+    labels=("vector",),
+)
+_M_EVICTED = obs.counter(
+    "repro_stream_evicted_sessions_total",
+    "closed sessions evicted in bounded mode",
+)
+_M_PRUNED_SOURCES = obs.counter(
+    "repro_stream_pruned_sources_total",
+    "idle per-source tallies pruned on hour rollovers (bounded mode)",
+)
+_M_PRUNED_HOURS = obs.counter(
+    "repro_stream_pruned_hours_total",
+    "hourly buckets rolled out of the retain window (bounded mode)",
+)
+_M_OPEN_SESSIONS = obs.gauge(
+    "repro_stream_open_sessions", "sessions currently open"
+)
+_M_LIVE_SOURCES = obs.gauge(
+    "repro_stream_live_sources", "distinct sources with an open session"
+)
+_M_ACTIVE_FLOODS = obs.gauge(
+    "repro_stream_active_floods", "floods past threshold and not yet ended"
+)
+_M_TRACKED_SOURCES = obs.gauge(
+    "repro_stream_tracked_sources",
+    "per-source tally map size (the bounded-memory proxy)",
 )
 
 
@@ -75,7 +131,15 @@ class StreamConfig:
 
 @dataclass
 class StreamTelemetry:
-    """Counters and gauges the monitor exposes (status lines, tests)."""
+    """The monitor's in-process counters and gauges.
+
+    Status lines and tests read these fields directly; the exportable
+    view of the same quantities lives in :mod:`repro.obs` (the
+    ``repro_stream_*`` families — see ``docs/METRICS.md``), which the
+    analyzer keeps in sync at batch boundaries.  New telemetry should
+    be added to the registry first and mirrored here only when the
+    status line needs it.
+    """
 
     packets: int = 0
     batches: int = 0
@@ -162,21 +226,23 @@ class StreamAnalyzer:
             raise RuntimeError("stream already finished")
         if not batch:
             return []
-        self.state.consume(batch, self.classifier)
-        telemetry = self.telemetry
-        telemetry.packets += len(batch)
-        telemetry.batches += 1
-        newest = batch[-1].timestamp
-        if newest > telemetry.newest_ts:
-            telemetry.newest_ts = newest
-        watermark = telemetry.newest_ts - self.stream_config.allowed_lateness
-        if watermark > telemetry.watermark:
-            telemetry.watermark = watermark
-        for sessionizer in self.state.sessionizers.values():
-            sessionizer.expire(telemetry.watermark)
-        events = self._drain(telemetry.watermark)
-        self._hour_rollover(telemetry.watermark)
-        self._update_gauges()
+        with obs.span(_M_BATCH):
+            self.state.consume(batch, self.classifier)
+            telemetry = self.telemetry
+            telemetry.packets += len(batch)
+            telemetry.batches += 1
+            newest = batch[-1].timestamp
+            if newest > telemetry.newest_ts:
+                telemetry.newest_ts = newest
+            watermark = telemetry.newest_ts - self.stream_config.allowed_lateness
+            if watermark > telemetry.watermark:
+                telemetry.watermark = watermark
+            for sessionizer in self.state.sessionizers.values():
+                sessionizer.expire(telemetry.watermark)
+            events = self._drain(telemetry.watermark)
+            self._hour_rollover(telemetry.watermark)
+            self._update_gauges()
+            _M_LAG.observe(telemetry.watermark_lag)
         return events
 
     def events(self, feed: Iterable[list]) -> Iterator:
@@ -225,6 +291,7 @@ class StreamAnalyzer:
         self._pending.append(alert)
         self.alerts.append(alert)
         self.telemetry.alerts += 1
+        _M_ALERTS.inc(vector=attack.vector)
         flood = LiveFlood(
             victim_ip=attack.victim_ip,
             vector=attack.vector,
@@ -259,6 +326,7 @@ class StreamAnalyzer:
             self._floods_by_vector.get(flood.vector, 0) + 1
         )
         self.telemetry.attacks_ended += 1
+        _M_ENDED.inc(vector=flood.vector)
         self._pending.append(
             AttackEnded(
                 victim_ip=session.source,
@@ -285,12 +353,18 @@ class StreamAnalyzer:
                 self._cursor[cls] = len(closed)
         if self.stream_config.bounded:
             for cls, sessionizer in self.state.sessionizers.items():
-                self.telemetry.evicted_sessions += sessionizer.evict_closed()
+                evicted = sessionizer.evict_closed()
+                self.telemetry.evicted_sessions += evicted
+                if evicted:
+                    _M_EVICTED.inc(evicted)
                 self._cursor[cls] = 0
         events = self._pending
         self._pending = []
+        record_latency = obs.enabled()
         for event in events:
             event.emitted_at = watermark
+            if record_latency and isinstance(event, FloodAlert):
+                _M_ALERT_LATENCY.observe(max(0.0, watermark - event.crossed_at))
         return events
 
     def _hour_rollover(self, watermark: float) -> None:
@@ -333,13 +407,16 @@ class StreamAnalyzer:
                 if source in keep
             }
             telemetry.pruned_sources += dropped
+            _M_PRUNED_SOURCES.inc(dropped)
         floor = hour - self.stream_config.retain_hours
         for rolled in [h for h in state.hourly_requests if h < floor]:
             self._pruned_requests += state.hourly_requests.pop(rolled)
             telemetry.pruned_hours += 1
+            _M_PRUNED_HOURS.inc()
         for rolled in [h for h in state.hourly_responses if h < floor]:
             self._pruned_responses += state.hourly_responses.pop(rolled)
             telemetry.pruned_hours += 1
+            _M_PRUNED_HOURS.inc()
         for hours in state.per_source_hourly.values():
             for rolled in [h for h in hours if h < floor]:
                 del hours[rolled]
@@ -356,6 +433,11 @@ class StreamAnalyzer:
             telemetry.peak_live_sources = telemetry.live_sources
         telemetry.active_floods = len(self._active)
         telemetry.tracked_sources = len(self.state.quic_source_packets)
+        if obs.enabled():
+            _M_OPEN_SESSIONS.set(telemetry.open_sessions)
+            _M_LIVE_SOURCES.set(telemetry.live_sources)
+            _M_ACTIVE_FLOODS.set(telemetry.active_floods)
+            _M_TRACKED_SOURCES.set(telemetry.tracked_sources)
 
     # -- reporting ---------------------------------------------------------
 

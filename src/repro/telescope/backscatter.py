@@ -92,6 +92,36 @@ class DatagramTemplateCache:
 #: would be identical anyway.
 _RESPONSE_TEMPLATES = DatagramTemplateCache(max_entries=8192)
 
+# Publish this cache's tallies through the shared template-cache metric
+# family (see docs/METRICS.md); pulled by a collector at export time so
+# the responder hot path stays metric-free.
+from repro import obs as _obs  # noqa: E402  (after the cache it observes)
+
+_M_CACHE_HITS = _obs.counter(
+    "repro_template_cache_hits_total",
+    "wire-template / keystream cache hits, per cache",
+    labels=("cache",),
+)
+_M_CACHE_MISSES = _obs.counter(
+    "repro_template_cache_misses_total",
+    "wire-template / keystream cache misses (fresh builds), per cache",
+    labels=("cache",),
+)
+_M_CACHE_SIZE = _obs.gauge(
+    "repro_template_cache_size",
+    "entries currently held, per cache",
+    labels=("cache",),
+)
+
+
+def _collect_response_template_metrics() -> None:
+    _M_CACHE_HITS.set_total(_RESPONSE_TEMPLATES.hits, cache="response")
+    _M_CACHE_MISSES.set_total(_RESPONSE_TEMPLATES.misses, cache="response")
+    _M_CACHE_SIZE.set(len(_RESPONSE_TEMPLATES), cache="response")
+
+
+_obs.REGISTRY.add_collector(_collect_response_template_metrics)
+
 # Hoisted flag combinations: ``IntFlag.__or__`` costs an enum lookup per
 # call, and the TCP responder builds one of these per backscatter packet.
 _SYN_ACK = TcpFlags.SYN | TcpFlags.ACK

@@ -48,6 +48,35 @@ from repro.internet.topology import BotHost, InternetModel, ResearchScanner
 #: cached bytes instead of re-running packet protection.
 _INITIAL_TEMPLATES = DatagramTemplateCache(max_entries=1024)
 
+# Same pull-style publication as the responder cache (backscatter.py):
+# one shared metric family, one label per cache.
+from repro import obs as _obs  # noqa: E402  (after the cache it observes)
+
+_M_CACHE_HITS = _obs.counter(
+    "repro_template_cache_hits_total",
+    "wire-template / keystream cache hits, per cache",
+    labels=("cache",),
+)
+_M_CACHE_MISSES = _obs.counter(
+    "repro_template_cache_misses_total",
+    "wire-template / keystream cache misses (fresh builds), per cache",
+    labels=("cache",),
+)
+_M_CACHE_SIZE = _obs.gauge(
+    "repro_template_cache_size",
+    "entries currently held, per cache",
+    labels=("cache",),
+)
+
+
+def _collect_initial_template_metrics() -> None:
+    _M_CACHE_HITS.set_total(_INITIAL_TEMPLATES.hits, cache="initial")
+    _M_CACHE_MISSES.set_total(_INITIAL_TEMPLATES.misses, cache="initial")
+    _M_CACHE_SIZE.set(len(_INITIAL_TEMPLATES), cache="initial")
+
+
+_obs.REGISTRY.add_collector(_collect_initial_template_metrics)
+
 
 def gquic_probe(rng: SeededRng, version_tag: bytes = b"Q043") -> bytes:
     """A legacy Google-QUIC probe (public header + plaintext CHLO).

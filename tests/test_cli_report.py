@@ -153,3 +153,64 @@ def test_cli_report_with_export(tmp_path):
     assert "exported" in out
     assert (export_dir / "summary.json").exists()
     assert (export_dir / "fig7_attacks.csv").exists()
+
+
+# -- metrics export and the stats subcommand ---------------------------
+
+
+@pytest.fixture
+def obs_restored():
+    """--metrics-out enables the process-wide registry; undo after."""
+    from repro import obs
+
+    was = obs.enabled()
+    obs.REGISTRY.reset()
+    yield
+    obs.REGISTRY.reset()
+    obs.set_enabled(was)
+
+
+def test_cli_analyze_metrics_out(tmp_path, obs_restored):
+    import json
+
+    pcap = tmp_path / "t.pcap"
+    code, _ = run_cli(["simulate"] + FAST + ["--out", str(pcap)])
+    assert code == 0
+
+    metrics = tmp_path / "run.json"
+    code, out = run_cli(
+        ["analyze", str(pcap)] + FAST + ["--metrics-out", str(metrics)]
+    )
+    assert code == 0
+    assert "metrics written to" in out
+
+    prom = tmp_path / "run.prom"
+    assert metrics.exists() and prom.exists()
+
+    # the JSON side parses and carries pipeline counters
+    data = json.loads(metrics.read_text())
+    by_name = {m["name"]: m for m in data["metrics"]}
+    packets = by_name["repro_pipeline_packets_total"]["samples"][0]["value"]
+    assert packets > 0
+
+    # the Prometheus side is well-formed text exposition
+    text = prom.read_text()
+    assert "# TYPE repro_pipeline_packets_total counter\n" in text
+    assert f"repro_pipeline_packets_total {packets}\n" in text
+    for line in text.splitlines():
+        assert line.startswith("#") or line == "" or " " in line
+
+    # stats renders the file into the human summary
+    code, out = run_cli(["stats", str(metrics)])
+    assert code == 0
+    assert "repro metrics summary" in out
+    assert "repro_pipeline_packets_total" in out
+
+
+def test_cli_stats_bad_file(tmp_path):
+    code, out = run_cli(["stats", str(tmp_path / "missing.json")])
+    assert code == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    code, out = run_cli(["stats", str(bad)])
+    assert code == 2

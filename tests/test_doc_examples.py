@@ -1,0 +1,53 @@
+"""Doc code stays executable.
+
+Two layers:
+
+- ``>>>`` examples embedded in README.md and docs/*.md run as
+  doctests (the same files CI runs via ``python -m doctest``);
+- the ``repro.obs`` modules carry doctests in their docstrings —
+  run them here so an API drift fails the suite, not just CI.
+"""
+
+import doctest
+import pathlib
+
+import pytest
+
+import repro.obs.export
+import repro.obs.metrics
+import repro.obs.timers
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+MARKDOWN_FILES = sorted(
+    [ROOT / "README.md", *(ROOT / "docs").glob("*.md")]
+)
+
+
+@pytest.mark.parametrize(
+    "path", MARKDOWN_FILES, ids=lambda p: p.relative_to(ROOT).as_posix()
+)
+def test_markdown_doctests(path):
+    results = doctest.testfile(
+        str(path), module_relative=False, optionflags=doctest.ELLIPSIS
+    )
+    assert results.failed == 0
+
+
+def test_markdown_has_some_examples():
+    """Guard against the doctest pass going vacuous: at least one doc
+    file must carry ``>>>`` examples."""
+    total = sum(
+        path.read_text().count(">>>") for path in MARKDOWN_FILES
+    )
+    assert total > 0
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.obs.metrics, repro.obs.timers, repro.obs.export],
+    ids=lambda m: m.__name__,
+)
+def test_obs_module_doctests(module):
+    results = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0
