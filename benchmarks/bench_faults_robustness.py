@@ -1,0 +1,143 @@
+"""Dissector robustness bench: throughput on a 50%-malformed stream.
+
+Not a paper figure — an engineering benchmark guarding the hardened
+dissector path (PR 5).  A telescope peering at UDP/443 sees garbage
+constantly (the paper classifies ~60% of UDP/443 traffic as non-QUIC),
+so the *rejection* path is as hot as the accept path and must not
+regress: a dissector that is fast on valid Initials but slow (or worse,
+exception-prone) on junk would crawl on real captures.
+
+Builds a payload corpus from a scenario's UDP/443 traffic, then times
+``QuicDissector`` on two streams of equal length:
+
+- ``clean_pps``     — the unmodified payload mix;
+- ``malformed_pps`` — the same mix with every second payload replaced
+  by a seeded corruption (bit flips, truncations, random bytes), i.e.
+  a 50%-malformed stream.
+
+Asserts no exception escapes and that the malformed stream dissects at
+a sane fraction of the clean rate (rejections bail out early, so they
+are usually *faster* — the bound only catches pathological slowness).
+Appends to ``benchmarks/out/BENCH_faults.json``; ``REPRO_BENCH_QUICK=1``
+shrinks the corpus and skips perf assertions and the trajectory append.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.dissect import QuicDissector
+from repro.telescope import Scenario, ScenarioConfig
+from repro.util.rng import SeededRng
+from repro.util.timeutil import HOUR
+
+TRAJECTORY = Path(__file__).parent / "out" / "BENCH_faults.json"
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+SCENARIO_HOURS = 0.25 if QUICK else 1.0
+TIMING_ROUNDS = 1 if QUICK else 3
+
+
+def _udp443_payloads():
+    scenario = Scenario(
+        ScenarioConfig(duration=SCENARIO_HOURS * HOUR, research_sample=1.0 / 512)
+    )
+    payloads = [
+        p.payload
+        for p in scenario.packets()
+        if p.is_udp and 443 in (p.src_port, p.dst_port) and p.payload
+    ]
+    assert payloads, "scenario produced no UDP/443 traffic"
+    return payloads
+
+
+def _corrupt(payload: bytes, rng) -> bytes:
+    kind = rng.randint(0, 3)
+    if kind == 0:  # random bytes, representative of non-QUIC services
+        return rng.randbytes(rng.randint(1, len(payload)))
+    data = bytearray(payload)
+    if kind == 1:  # single bit flip
+        index = rng.randint(0, len(data) - 1)
+        data[index] ^= 1 << rng.randint(0, 7)
+    elif kind == 2 and len(data) > 1:  # truncation
+        del data[rng.randint(1, len(data) - 1) :]
+    else:  # clear the fixed bit: the cheapest rejection path
+        data[0] &= 0xBF
+    return bytes(data)
+
+
+def _dissect_rate(payloads) -> tuple[float, int]:
+    """Best-of-rounds dissect throughput; returns (pps, invalid_count)."""
+    times = []
+    invalid = 0
+    for _ in range(TIMING_ROUNDS):
+        dissector = QuicDissector()  # fresh memo per round: cold-path cost
+        invalid = 0
+        start = time.perf_counter()
+        for payload in payloads:
+            if not dissector.dissect(payload).valid:
+                invalid += 1
+        times.append(time.perf_counter() - start)
+    return len(payloads) / min(times), invalid
+
+
+def _append_trajectory(record):
+    TRAJECTORY.parent.mkdir(exist_ok=True)
+    runs = []
+    if TRAJECTORY.exists():
+        try:
+            runs = json.loads(TRAJECTORY.read_text()).get("runs", [])
+        except (ValueError, AttributeError):
+            runs = []
+    runs.append(record)
+    TRAJECTORY.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
+
+
+def test_dissector_throughput_on_malformed_stream(emit):
+    payloads = _udp443_payloads()
+    rng = SeededRng(0xBAD, "bench-faults")
+    half_malformed = [
+        _corrupt(p, rng) if i % 2 else p for i, p in enumerate(payloads)
+    ]
+
+    clean_rate, clean_invalid = _dissect_rate(payloads)
+    malformed_rate, malformed_invalid = _dissect_rate(half_malformed)
+    ratio = malformed_rate / clean_rate
+
+    # the injected junk must actually register as malformed...
+    assert malformed_invalid > clean_invalid
+    # ...and roughly half the stream should be rejected (valid QUIC can
+    # survive a bit flip in a packet-number byte, so not exactly half)
+    assert malformed_invalid >= len(payloads) * 0.3
+
+    if not QUICK:
+        _append_trajectory(
+            {
+                "unix_time": round(time.time()),
+                "payloads": len(payloads),
+                "clean_pps": round(clean_rate),
+                "malformed_pps": round(malformed_rate),
+                "malformed_ratio": round(ratio, 3),
+                "malformed_rejected": malformed_invalid,
+            }
+        )
+    emit(
+        "faults_robustness",
+        f"UDP/443 payloads: {len(payloads):,}  (quick: {QUICK})\n"
+        f"clean stream dissect throughput: {clean_rate:,.0f} payloads/s "
+        f"({clean_invalid:,} rejected)\n"
+        f"50%-malformed stream dissect throughput: {malformed_rate:,.0f} "
+        f"payloads/s ({malformed_invalid:,} rejected)\n"
+        f"malformed/clean ratio: {ratio:.2f}x\n"
+        "(rejections bail out early; a ratio well below 1 would mean the "
+        "error path allocates or formats too much)",
+    )
+    if QUICK:
+        return  # smoke run: correctness only
+    assert clean_rate > 5_000
+    # the robustness contract: the rejection path must not be
+    # catastrophically slower than the accept path
+    assert ratio >= 0.5, (
+        f"malformed stream dissects at {ratio:.2f}x the clean rate"
+    )

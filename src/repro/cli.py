@@ -40,7 +40,7 @@ from repro.core.export import export_results
 from repro.core.report import build_report
 from repro.core.retry_audit import ActiveProber
 from repro.net.addresses import format_ipv4
-from repro.net.pcap import read_pcap
+from repro.net.pcap import PcapReader
 from repro.server import run_table1, table1_rows
 from repro.telescope import Scenario, ScenarioConfig
 from repro.util.render import format_table
@@ -83,8 +83,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("--report-out", help="also write the report to a file")
     analyze.add_argument("--export", help="write per-figure CSV/JSON data here")
+    analyze.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip-and-count corrupt pcap records instead of failing "
+        "(count is printed and exported as "
+        "repro_pcap_corrupt_records_total)",
+    )
     _workers_arg(analyze)
     _metrics_arg(analyze)
+    _faults_args(analyze)
 
     report = sub.add_parser("report", help="simulate and analyze in one step")
     _scenario_args(report)
@@ -92,6 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--export", help="write per-figure CSV/JSON data here")
     _workers_arg(report)
     _metrics_arg(report)
+    _faults_args(report)
 
     watch = sub.add_parser(
         "watch", help="online monitor: live flood alerts over a packet feed"
@@ -131,7 +140,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1800.0,
         help="status-line interval in event-time seconds (0 = off)",
     )
+    watch.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip-and-count corrupt pcap records while tail-following "
+        "(surfaced in the stream report and StreamTelemetry)",
+    )
     _metrics_arg(watch)
+    _faults_args(watch)
 
     stats = sub.add_parser(
         "stats", help="render a human summary of a --metrics-out JSON file"
@@ -192,6 +208,43 @@ def _workers_arg(parser: argparse.ArgumentParser) -> None:
         help="worker processes for the per-packet phase (sharded by "
         "source IP; results are identical to --workers 1)",
     )
+
+
+def _faults_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        default="none",
+        metavar="SPEC",
+        help="inject deterministic faults into the packet stream, e.g. "
+        "'bitflip=0.01,drop=0.005' ('none' disables; see "
+        "docs/ROBUSTNESS.md for the grammar)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for the fault injector (default: a fixed "
+        "injector-specific seed, independent of --seed)",
+    )
+
+
+def _fault_injector(args, stream):
+    """Build the injector from --faults/--fault-seed, or None.
+
+    Returns the sentinel ``2`` (the usage exit code) on a bad spec.
+    """
+    from repro.faults import FaultInjector, FaultSpec, FaultSpecError
+    from repro.faults.inject import DEFAULT_FAULT_SEED
+
+    try:
+        spec = FaultSpec.parse(getattr(args, "faults", "none") or "none")
+    except FaultSpecError as exc:
+        print(f"bad --faults spec: {exc}", file=stream)
+        return 2
+    if not spec.enabled():
+        return None
+    seed = args.fault_seed if args.fault_seed is not None else DEFAULT_FAULT_SEED
+    return FaultInjector(spec, seed)
 
 
 def _metrics_arg(parser: argparse.ArgumentParser) -> None:
@@ -260,9 +313,27 @@ def cmd_simulate(args, stream) -> int:
 
 def cmd_analyze(args, stream) -> int:
     _maybe_enable_metrics(args)
+    injector = _fault_injector(args, stream)
+    if injector == 2:
+        return 2
     scenario = None if args.no_correlation else _scenario(args)
     pipeline = _pipeline(scenario, workers=args.workers)
-    result = pipeline.process(read_pcap(args.pcap))
+    with open(args.pcap, "rb") as pcap_stream:
+        reader = PcapReader(pcap_stream, lenient=args.lenient)
+        packets = iter(reader)
+        if injector is not None:
+            packets = injector.wrap(packets)
+        result = pipeline.process(packets)
+    if args.lenient and reader.corrupt_records:
+        from repro.stream.feeds import note_corrupt_records
+
+        note_corrupt_records(reader.corrupt_records)
+        print(
+            f"skipped {reader.corrupt_records} corrupt pcap record(s)",
+            file=stream,
+        )
+    if injector is not None:
+        print(injector.summary(), file=stream)
     _emit_report(result, scenario, args.report_out, stream)
     _maybe_export(result, args, stream)
     _maybe_write_metrics(args, stream)
@@ -271,9 +342,17 @@ def cmd_analyze(args, stream) -> int:
 
 def cmd_report(args, stream) -> int:
     _maybe_enable_metrics(args)
+    injector = _fault_injector(args, stream)
+    if injector == 2:
+        return 2
     scenario = _scenario(args)
     pipeline = _pipeline(scenario, workers=args.workers)
-    result = pipeline.process(scenario.packets())
+    packets = scenario.packets()
+    if injector is not None:
+        packets = injector.wrap(packets)
+    result = pipeline.process(packets)
+    if injector is not None:
+        print(injector.summary(), file=stream)
     _emit_report(result, scenario, args.report_out, stream)
     _maybe_export(result, args, stream)
     _maybe_write_metrics(args, stream)
@@ -307,11 +386,16 @@ def cmd_watch(args, stream) -> int:
         config=AnalysisConfig(),
         stream_config=StreamConfig(bounded=not args.exact),
     )
+    injector = _fault_injector(args, stream)
+    if injector == 2:
+        return 2
     if args.pcap:
         feed = follow_pcap(
             args.pcap,
             batch_size=args.batch_size,
             idle_timeout=args.idle_timeout,
+            lenient=args.lenient,
+            on_corrupt=analyzer.record_corrupt_records,
         )
         source = f"tail-following {args.pcap}"
     else:
@@ -319,6 +403,8 @@ def cmd_watch(args, stream) -> int:
             batch_size=args.batch_size, speed=args.speed or None
         )
         source = f"live simulator feed ({args.hours:.1f} h planned)"
+    if injector is not None:
+        feed = injector.wrap_batches(feed, batch_size=args.batch_size)
     mode = "exact" if args.exact else "bounded"
     print(f"watching {source} [{mode} mode]", file=stream)
     next_status: Optional[float] = None
@@ -338,6 +424,8 @@ def cmd_watch(args, stream) -> int:
     for event in analyzer.finish():
         print(event.render(), file=stream)
     print(analyzer.status_line(), file=stream)
+    if injector is not None:
+        print(injector.summary(), file=stream)
     if args.exact:
         _emit_report(analyzer.result(), scenario, None, stream)
     else:

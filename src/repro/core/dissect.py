@@ -19,6 +19,7 @@ that dissector, built from scratch on the :mod:`repro.quic` substrate:
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from typing import Optional
 
@@ -45,6 +46,54 @@ _GQUIC_FLAG_VERSION = 0x01
 _GQUIC_FLAG_CID = 0x08
 #: minimum gQUIC client packet: flags + 8B CID + 4B version + pn
 MIN_GQUIC_LEN = 14
+
+
+class MalformedReason(enum.Enum):
+    """Why a UDP/443 payload was rejected as non-QUIC.
+
+    The closed taxonomy the pipeline tallies hostile traffic under
+    (``class_counts['malformed:<reason>']``,
+    ``repro_malformed_packets_total{reason=...}``): a telescope ingests
+    arbitrary Internet garbage, so the reject path needs
+    bounded-cardinality classifications, not free-form error strings.
+    The reference table in ``docs/ROBUSTNESS.md`` is kept in sync by
+    ``tests/test_docs_robustness_sync.py``.
+    """
+
+    #: zero-length UDP payload
+    EMPTY = "empty"
+    #: first byte has neither the long-header form bit nor the fixed bit
+    NO_FIXED_BIT = "no-fixed-bit"
+    #: long header ends before version/CID fields are complete
+    TRUNCATED_HEADER = "truncated-header"
+    #: connection-ID length byte truncated, > 20, or CID bytes missing
+    BAD_CONNECTION_ID = "bad-connection-id"
+    #: token/length varint truncated or malformed
+    BAD_VARINT = "bad-varint"
+    #: version negotiation with an empty or non-multiple-of-4 list
+    BAD_VERSION_NEGOTIATION = "bad-version-negotiation"
+    #: token, retry tag, or declared payload extends past the datagram
+    TRUNCATED_PAYLOAD = "truncated-payload"
+    #: long-header length field below the 4-byte RFC 9001 minimum
+    PAYLOAD_TOO_SHORT = "payload-too-short"
+    #: short-header datagram smaller than CID + pn + HP sample
+    SHORT_TOO_SHORT = "short-too-short"
+    #: a coalesced packet claims a zero-length slice (parser loop guard)
+    NO_ADVANCE = "no-advance"
+    #: UDP packet with 443 on both sides (classifier-level rejection)
+    PORT_CONFLICT = "port-conflict"
+    #: parser raised outside its typed error contract (defensive catch)
+    INTERNAL_ERROR = "internal-error"
+    #: typed parse error without a more specific classification
+    MALFORMED = "malformed"
+
+
+def classify_reason(slug: str) -> MalformedReason:
+    """Map a :class:`HeaderParseError` reason slug onto the taxonomy."""
+    try:
+        return MalformedReason(slug)
+    except ValueError:
+        return MalformedReason.MALFORMED
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,6 +127,8 @@ class Dissection:
     valid: bool
     packets: tuple = ()
     error: Optional[str] = None
+    #: typed classification of the failure; ``None`` when ``valid``.
+    reason: Optional[MalformedReason] = None
 
     @property
     def packet_types(self) -> list:
@@ -165,8 +216,23 @@ class QuicDissector:
         return result
 
     def _dissect_uncached(self, payload: bytes) -> Dissection:
+        # The never-raise contract: telescope input is arbitrary
+        # Internet bytes, so a parser bug must degrade to a tallied
+        # malformed classification, never to a crashed pipeline.
+        try:
+            return self._dissect_strict(payload)
+        except Exception as exc:  # noqa: BLE001 - contract boundary
+            return Dissection(
+                valid=False,
+                error=f"dissector error: {exc}",
+                reason=MalformedReason.INTERNAL_ERROR,
+            )
+
+    def _dissect_strict(self, payload: bytes) -> Dissection:
         if not payload:
-            return Dissection(valid=False, error="empty payload")
+            return Dissection(
+                valid=False, error="empty payload", reason=MalformedReason.EMPTY
+            )
         # Cheap first-byte pre-check: with neither the long-header form
         # bit (0x80) nor the fixed bit (0x40) set, the header parser
         # always rejects the first packet — skip parsing (and its
@@ -178,19 +244,29 @@ class QuicDissector:
             gquic = self._dissect_gquic(payload)
             if gquic is not None:
                 return gquic
-            return Dissection(valid=False, error="short header without fixed bit")
+            return Dissection(
+                valid=False,
+                error="short header without fixed bit",
+                reason=MalformedReason.NO_FIXED_BIT,
+            )
         try:
             views = split_datagram(payload)
         except HeaderParseError as exc:
             gquic = self._dissect_gquic(payload)
             if gquic is not None:
                 return gquic
-            return Dissection(valid=False, error=str(exc))
+            return Dissection(
+                valid=False, error=str(exc), reason=classify_reason(exc.reason)
+            )
         packets = []
         for view in views:
             if isinstance(view, ShortHeader):
                 if len(payload) - view.start < MIN_SHORT_HEADER_LEN:
-                    return Dissection(valid=False, error="short header too short")
+                    return Dissection(
+                        valid=False,
+                        error="short header too short",
+                        reason=MalformedReason.SHORT_TOO_SHORT,
+                    )
                 packets.append(DissectedPacket(packet_type=PacketType.ONE_RTT))
                 continue
             if isinstance(view, VersionNegotiationPacket):

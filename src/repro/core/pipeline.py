@@ -96,6 +96,12 @@ _M_DISSECT_MISSES = obs.counter(
     "repro_dissect_cache_misses_total",
     "dissector memo misses (payload dissected from bytes)",
 )
+_M_MALFORMED = obs.counter(
+    "repro_malformed_packets_total",
+    "UDP/443 packets rejected by the dissector, per typed reason "
+    "(see MalformedReason in repro.core.dissect)",
+    labels=("reason",),
+)
 
 
 @dataclass
@@ -173,6 +179,16 @@ class PipelineResult:
         return self.common_detector.attacks if self.common_detector else []
 
     @property
+    def malformed_counts(self) -> dict:
+        """Typed malformed-input tallies, keyed by reason slug."""
+        prefix = "malformed:"
+        return {
+            key[len(prefix):]: count
+            for key, count in self.class_counts.items()
+            if key.startswith(prefix)
+        }
+
+    @property
     def sanitized_quic_packets(self) -> int:
         return sum(self.hourly_other_quic.values())
 
@@ -230,6 +246,9 @@ class PartialState:
     response_long_header_packets: int = 0
     response_empty_dcid_packets: int = 0
     passive_retry_packets: int = 0
+    #: NON_QUIC_UDP443 rejects keyed by MalformedReason slug — additive,
+    #: so sharded merges reproduce the serial tally exactly.
+    malformed_counts: dict = field(default_factory=dict)
     quic_source_packets: dict = field(default_factory=dict)
     per_source_hourly: dict = field(default_factory=dict)
     hourly_requests: dict = field(default_factory=dict)
@@ -265,6 +284,8 @@ class PartialState:
         response_cls = PacketClass.QUIC_RESPONSE
         tcp_cls = PacketClass.TCP_BACKSCATTER
         icmp_cls = PacketClass.ICMP_BACKSCATTER
+        nonquic_cls = PacketClass.NON_QUIC_UDP443
+        malformed_counts = self.malformed_counts
         sessionizers = self.sessionizers
         request_add = sessionizers[request_cls].add
         response_add = sessionizers[response_cls].add
@@ -304,6 +325,16 @@ class PartialState:
                     response_add(classified)
             elif cls is tcp_cls or cls is icmp_cls:
                 sessionizers[cls].add(classified)
+            elif cls is nonquic_cls:
+                dissection = classified.dissection
+                if dissection is None:
+                    # both ports 443: rejected before dissection
+                    reason = "port-conflict"
+                elif dissection.reason is not None:
+                    reason = dissection.reason.value
+                else:
+                    reason = "malformed"
+                malformed_counts[reason] = malformed_counts.get(reason, 0) + 1
         self.response_long_header_packets += response_long
         self.response_empty_dcid_packets += response_empty_dcid
         self.passive_retry_packets += retry_packets
@@ -332,9 +363,19 @@ class PartialState:
             _M_DISSECT_MISSES.inc(classifier.cache_misses)
 
     def close(self) -> None:
-        """End of shard stream: close every open session."""
+        """End of shard stream: close every open session.
+
+        Also the exactly-once publication point for the malformed-reason
+        counters — called once per shard in the serial, worker, and
+        streaming paths, so the metric rides the existing
+        snapshot/merge machinery without double counting.
+        """
         for sessionizer in self.sessionizers.values():
             sessionizer.flush()
+        if obs.enabled():
+            for reason, count in self.malformed_counts.items():
+                if count:
+                    _M_MALFORMED.inc(count, reason=reason)
 
     def merge(self, other: "PartialState") -> None:
         """Fold another shard's state into this one, in place."""
@@ -360,6 +401,10 @@ class PartialState:
         self.response_long_header_packets += other.response_long_header_packets
         self.response_empty_dcid_packets += other.response_empty_dcid_packets
         self.passive_retry_packets += other.passive_retry_packets
+        for reason, count in other.malformed_counts.items():
+            self.malformed_counts[reason] = (
+                self.malformed_counts.get(reason, 0) + count
+            )
         for source, count in other.quic_source_packets.items():
             self.quic_source_packets[source] = (
                 self.quic_source_packets.get(source, 0) + count
@@ -389,6 +434,7 @@ class PartialState:
         """
         for sessionizer in self.sessionizers.values():
             sessionizer.sort_closed()
+        self.malformed_counts = dict(sorted(self.malformed_counts.items()))
         self.quic_source_packets = dict(sorted(self.quic_source_packets.items()))
         self.per_source_hourly = {
             source: dict(sorted(hours.items()))
@@ -460,6 +506,9 @@ class QuicsandPipeline:
         if state.cache_hits or state.cache_misses:
             class_counts["dissect-cache-hit"] = state.cache_hits
             class_counts["dissect-cache-miss"] = state.cache_misses
+        for reason, count in state.malformed_counts.items():
+            if count:
+                class_counts[f"malformed:{reason}"] = count
         result = PipelineResult(
             window_start=state.window_start or 0.0,
             window_end=state.window_end or 0.0,

@@ -1,0 +1,71 @@
+"""Deterministic pcap *container* corruption.
+
+The injector in :mod:`repro.faults.inject` corrupts packets; this
+module corrupts the file framing around them — record headers with
+absurd lengths and bodies that no longer parse as IPv4 — which is what
+the lenient reader (:class:`repro.net.pcap.PcapReader` with
+``lenient=True``) must skip-and-count.  Used by the robustness tests
+and benchmarks; corruption sites are drawn from a
+:class:`~repro.util.rng.SeededRng`, so a corrupted fixture is
+reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.net.pcap import PcapFormatError
+from repro.util.rng import SeededRng
+
+_GLOBAL_SIZE = 24
+_RECORD = struct.Struct("<IIII")
+_U32_LE = struct.Struct("<I")
+
+#: a caplen no plausibility check accepts (> SNAPLEN).
+_ABSURD_CAPLEN = 0x7FFF_FFFF
+
+
+def corrupt_pcap_bytes(
+    data: bytes,
+    rng: SeededRng,
+    rate: float = 0.1,
+    kinds: tuple = ("header", "body"),
+) -> tuple[bytes, int]:
+    """Corrupt a little-endian pcap in memory; returns ``(bytes, n)``.
+
+    Walks the record framing and, with probability ``rate`` per record,
+    applies one corruption drawn from ``kinds``:
+
+    - ``"header"`` — overwrite the record's caplen with an absurd value
+      (the reader loses framing and must resync);
+    - ``"body"`` — clobber the first body byte so the record no longer
+      parses as an IPv4 packet (the reader skips it).
+
+    ``n`` is the number of corrupted records — the exact value a fully
+    lenient read should report in ``corrupt_records`` when every
+    corruption is recoverable.
+    """
+    if not kinds:
+        raise ValueError("kinds must name at least one corruption")
+    out = bytearray(data)
+    offset = _GLOBAL_SIZE
+    if len(data) < _GLOBAL_SIZE:
+        raise PcapFormatError("not a pcap: shorter than the global header")
+    corrupted = 0
+    while offset + _RECORD.size <= len(data):
+        _seconds, _fraction, caplen, _origlen = _RECORD.unpack_from(data, offset)
+        body_start = offset + _RECORD.size
+        body_end = body_start + caplen
+        if body_end > len(data):
+            break  # truncated tail record: leave as-is
+        if rng.random() < rate:
+            kind = kinds[0] if len(kinds) == 1 else rng.choice(list(kinds))
+            if kind == "header":
+                _U32_LE.pack_into(out, offset + 8, _ABSURD_CAPLEN)
+            elif kind == "body" and caplen:
+                out[body_start] = 0x00  # IPv4 version nibble becomes 0
+            else:
+                raise ValueError(f"unknown corruption kind {kind!r}")
+            corrupted += 1
+        offset = body_end
+    return bytes(out), corrupted

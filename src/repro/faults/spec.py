@@ -1,0 +1,126 @@
+"""The fault-scenario specification and its CLI grammar.
+
+A spec is a set of per-packet rates, one per fault kind.  On the
+command line it is written as a comma-separated list of
+``kind=rate`` terms::
+
+    --faults bitflip=0.01,drop=0.005,garbage=0.02
+
+``none`` (or an empty string) means "no faults" — handy for scripted
+matrices where the fault column is sometimes off.  Rates are
+probabilities in ``[0, 1]``; unknown kinds and out-of-range rates
+raise :class:`FaultSpecError` so a typo fails fast instead of silently
+running a clean stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+#: every fault kind, in application order (documented in
+#: docs/ROBUSTNESS.md; the sync test keeps the table honest).
+FAULT_KINDS = (
+    "bitflip",
+    "byteflip",
+    "truncate",
+    "zero",
+    "garbage",
+    "duplicate",
+    "drop",
+    "reorder",
+    "interrupt",
+)
+
+
+class FaultSpecError(ValueError):
+    """Raised for an unparseable ``--faults`` specification."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-packet fault rates; all default to "never".
+
+    - ``bitflip`` — flip one random bit of the payload
+    - ``byteflip`` — overwrite one random payload byte
+    - ``truncate`` — cut the payload at a random earlier offset
+    - ``zero`` — replace the payload with zero bytes
+    - ``garbage`` — insert a random non-QUIC UDP/443 datagram
+    - ``duplicate`` — emit the packet twice
+    - ``drop`` — silently discard the packet
+    - ``reorder`` — swap the packet's contents with its successor's
+      (timestamps keep their original order: the capture tap stamps
+      arrival time, so a reordered pair is two arrivals whose payloads
+      changed places)
+    - ``interrupt`` — end the stream at this packet (per-packet
+      probability of a mid-capture feed death)
+    """
+
+    bitflip: float = 0.0
+    byteflip: float = 0.0
+    truncate: float = 0.0
+    zero: float = 0.0
+    garbage: float = 0.0
+    duplicate: float = 0.0
+    drop: float = 0.0
+    reorder: float = 0.0
+    interrupt: float = 0.0
+
+    def __post_init__(self) -> None:
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultSpecError(
+                    f"{spec_field.name} rate {value!r} outside [0, 1]"
+                )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the ``kind=rate,...`` grammar.
+
+        >>> FaultSpec.parse("bitflip=0.25,drop=0.1")
+        FaultSpec(bitflip=0.25, ..., drop=0.1, ...)
+        >>> FaultSpec.parse("none").enabled()
+        False
+        """
+        text = text.strip()
+        if not text or text.lower() == "none":
+            return cls()
+        rates: dict[str, float] = {}
+        for term in text.split(","):
+            term = term.strip()
+            if not term:
+                continue
+            kind, sep, raw = term.partition("=")
+            kind = kind.strip()
+            if not sep:
+                raise FaultSpecError(
+                    f"fault term {term!r} is not of the form kind=rate"
+                )
+            if kind not in FAULT_KINDS:
+                raise FaultSpecError(
+                    f"unknown fault kind {kind!r} "
+                    f"(expected one of {', '.join(FAULT_KINDS)})"
+                )
+            if kind in rates:
+                raise FaultSpecError(f"fault kind {kind!r} given twice")
+            try:
+                rate = float(raw)
+            except ValueError as exc:
+                raise FaultSpecError(
+                    f"fault rate {raw!r} for {kind!r} is not a number"
+                ) from exc
+            rates[kind] = rate
+        return cls(**rates)
+
+    def enabled(self) -> bool:
+        """Whether any fault kind has a nonzero rate."""
+        return any(getattr(self, kind) > 0.0 for kind in FAULT_KINDS)
+
+    def render(self) -> str:
+        """The spec back in CLI grammar (``none`` when disabled)."""
+        terms = [
+            f"{kind}={getattr(self, kind):g}"
+            for kind in FAULT_KINDS
+            if getattr(self, kind) > 0.0
+        ]
+        return ",".join(terms) if terms else "none"

@@ -70,14 +70,31 @@ class PcapReader:
     where the reader left off, so a writer-in-progress capture can be
     tail-followed (see :func:`repro.stream.feeds.follow_pcap`).
     A genuinely bad magic number still raises in both modes.
+
+    With ``lenient=True`` (also requires a seekable stream) *interior*
+    corruption is survived instead of fatal: a record header with an
+    implausible caplen/origlen/fraction triggers a forward resync scan
+    for the next verifiable record boundary, a record body that is not
+    a parseable packet is skipped, and a truncated final record ends
+    iteration — each bumps the public ``corrupt_records`` counter.
+    Combined with ``tail=True``, truncation still means "not yet
+    written" (rewind and wait) while implausible headers resync; a
+    capture being corrupted *and* appended to stays followable.
     """
 
-    def __init__(self, stream: BinaryIO, tail: bool = False) -> None:
+    def __init__(
+        self, stream: BinaryIO, tail: bool = False, lenient: bool = False
+    ) -> None:
         self._stream = stream
         self._tail = tail
+        self._lenient = lenient
         self._record: Optional[struct.Struct] = None
         self._tick = 1e-6
+        self._frac_limit = 1_000_000
         self.linktype: Optional[int] = None
+        #: records skipped by lenient mode (bad header, unparseable
+        #: body, or truncated tail record)
+        self.corrupt_records = 0
         if not tail:
             self._try_read_header()
 
@@ -102,6 +119,7 @@ class PcapReader:
         else:
             raise PcapFormatError(f"bad pcap magic {magic:#x}")
         self._tick = 1e-9 if magic == MAGIC_NANOS else 1e-6
+        self._frac_limit = 1_000_000_000 if magic == MAGIC_NANOS else 1_000_000
         fields = global_header.unpack(header)
         self.linktype = fields[6]
         self._record = record
@@ -113,8 +131,9 @@ class PcapReader:
         record = self._record
         stream = self._stream
         tail = self._tail
+        lenient = self._lenient
         while True:
-            pos = stream.tell() if tail else None
+            pos = stream.tell() if (tail or lenient) else None
             head = stream.read(record.size)
             if not head:
                 return
@@ -122,16 +141,105 @@ class PcapReader:
                 if tail:
                     stream.seek(pos)
                     return
+                if lenient:
+                    self.corrupt_records += 1
+                    return
                 raise PcapFormatError("truncated pcap record header")
-            seconds, fraction, caplen, _origlen = record.unpack(head)
+            seconds, fraction, caplen, origlen = record.unpack(head)
+            if lenient and not self._plausible(fraction, caplen, origlen):
+                self.corrupt_records += 1
+                if not self._resync(pos + 1):
+                    return
+                continue
             data = stream.read(caplen)
             if len(data) < caplen:
                 if tail:
                     stream.seek(pos)
                     return
+                if lenient:
+                    self.corrupt_records += 1
+                    return
                 raise PcapFormatError("truncated pcap record body")
             timestamp = seconds + fraction * self._tick
-            yield CapturedPacket.from_bytes(timestamp, data)
+            if lenient:
+                try:
+                    packet = CapturedPacket.from_bytes(timestamp, data)
+                except ValueError:
+                    self.corrupt_records += 1
+                    continue
+                yield packet
+            else:
+                yield CapturedPacket.from_bytes(timestamp, data)
+
+    def _plausible(self, fraction: int, caplen: int, origlen: int) -> bool:
+        """A record header is plausible when its lengths fit the
+        snaplen contract and its sub-second fraction is in range."""
+        if not 0 < caplen <= SNAPLEN:
+            return False
+        if not caplen <= origlen <= SNAPLEN:
+            return False
+        return fraction < self._frac_limit
+
+    def _resync(self, search_from: int) -> bool:
+        """Scan forward for the next verifiable record boundary.
+
+        Slides a window over the stream, testing every byte offset for
+        a plausible record header whose body parses as a captured
+        packet and whose *successor* record is also plausible (or lands
+        exactly at EOF) — checks that make accidental matches in packet
+        payloads vanishingly unlikely.
+        Positions the stream at the recovered boundary and returns
+        True, or returns False when the rest of the file holds no
+        recoverable record.
+        """
+        stream = self._stream
+        record = self._record
+        rec_size = record.size
+        window = 1 << 20
+        base = search_from
+        while True:
+            stream.seek(base)
+            chunk = stream.read(window + rec_size)
+            if len(chunk) < rec_size:
+                return False
+            limit = min(len(chunk) - rec_size, window - 1)
+            for i in range(limit + 1):
+                _s, fraction, caplen, origlen = record.unpack_from(chunk, i)
+                if not self._plausible(fraction, caplen, origlen):
+                    continue
+                candidate = base + i
+                if self._verify_candidate(candidate, rec_size, caplen):
+                    stream.seek(candidate)
+                    return True
+            if len(chunk) < window + rec_size:
+                return False
+            base += window
+
+    def _verify_candidate(self, candidate: int, rec_size: int, caplen: int) -> bool:
+        stream = self._stream
+        stream.seek(0, 2)
+        eof = stream.tell()
+        end = candidate + rec_size + caplen
+        if end > eof:
+            # the candidate's own body would run past EOF — a payload
+            # byte masquerading as a header, not a recoverable record
+            return False
+        stream.seek(candidate + rec_size)
+        body = stream.read(caplen)
+        try:
+            CapturedPacket.from_bytes(0.0, body)
+        except ValueError:
+            # plausible framing but not a packet: keep scanning (a
+            # corrupt-bodied record would be skipped anyway)
+            return False
+        if end == eof:
+            return True  # record ends exactly at EOF
+        head = stream.read(rec_size)
+        if len(head) < rec_size:
+            # truncated successor: accept; the main loop counts it
+            return True
+        _s, fraction, next_caplen, next_origlen = self._record.unpack(head)
+        return self._plausible(fraction, next_caplen, next_origlen)
 
 
 def write_pcap(path: Union[str, Path], packets: Iterable[CapturedPacket]) -> int:
@@ -145,10 +253,12 @@ def write_pcap(path: Union[str, Path], packets: Iterable[CapturedPacket]) -> int
     return count
 
 
-def read_pcap(path: Union[str, Path]) -> Iterator[CapturedPacket]:
+def read_pcap(
+    path: Union[str, Path], lenient: bool = False
+) -> Iterator[CapturedPacket]:
     """Yield packets from a pcap file (file stays open while iterating)."""
     with open(path, "rb") as stream:
-        yield from PcapReader(stream)
+        yield from PcapReader(stream, lenient=lenient)
 
 
 def read_pcap_batches(

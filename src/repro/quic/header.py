@@ -47,7 +47,18 @@ class PacketType(enum.Enum):
 
 
 class HeaderParseError(ValueError):
-    """Raised when bytes are not a valid QUIC header."""
+    """Raised when bytes are not a valid QUIC header.
+
+    ``reason`` is a stable machine-readable slug for the failure class
+    (one of the values of
+    :class:`repro.core.dissect.MalformedReason`); the dissector uses it
+    to tally malformed traffic per reason instead of per message
+    string, so hostile inputs produce bounded-cardinality telemetry.
+    """
+
+    def __init__(self, message: str, reason: str = "malformed") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 @dataclass
@@ -177,18 +188,20 @@ def parse_header(data: bytes, offset: int = 0) -> HeaderView:
     non-QUIC UDP/443 traffic.
     """
     if offset >= len(data):
-        raise HeaderParseError("empty packet")
+        raise HeaderParseError("empty packet", reason="empty")
     first = data[offset]
     if not first & FORM_LONG:
         if not first & FIXED_BIT:
-            raise HeaderParseError("short header without fixed bit")
+            raise HeaderParseError(
+                "short header without fixed bit", reason="no-fixed-bit"
+            )
         view = ShortHeader(first_byte=first, raw=data[offset + 1 :])
         view.start = offset
         view.end = len(data)
         return view
 
     if len(data) - offset < 7:
-        raise HeaderParseError("long header truncated")
+        raise HeaderParseError("long header truncated", reason="truncated-header")
     version = int.from_bytes(data[offset + 1 : offset + 5], "big")
     pos = offset + 5
     dcid, pos = _parse_cid(data, pos)
@@ -197,7 +210,10 @@ def parse_header(data: bytes, offset: int = 0) -> HeaderView:
     if version == VERSION_NEGOTIATION:
         rest = data[pos:]
         if len(rest) % 4 or not rest:
-            raise HeaderParseError("version negotiation list malformed")
+            raise HeaderParseError(
+                "version negotiation list malformed",
+                reason="bad-version-negotiation",
+            )
         versions = tuple(
             int.from_bytes(rest[i : i + 4], "big") for i in range(0, len(rest), 4)
         )
@@ -207,13 +223,18 @@ def parse_header(data: bytes, offset: int = 0) -> HeaderView:
         return view
 
     if not first & FIXED_BIT:
-        raise HeaderParseError("long header without fixed bit")
+        raise HeaderParseError(
+            "long header without fixed bit", reason="no-fixed-bit"
+        )
     packet_type = PacketType((first >> 4) & 0x03)
 
     if packet_type is PacketType.RETRY:
         token_and_tag = data[pos:]
         if len(token_and_tag) < 16:
-            raise HeaderParseError("retry packet shorter than integrity tag")
+            raise HeaderParseError(
+                "retry packet shorter than integrity tag",
+                reason="truncated-payload",
+            )
         view = RetryPacket(
             version=version,
             dcid=dcid,
@@ -230,21 +251,32 @@ def parse_header(data: bytes, offset: int = 0) -> HeaderView:
         try:
             token_len, pos = decode_varint(data, pos)
         except VarintError as exc:
-            raise HeaderParseError(f"initial token length: {exc}") from exc
+            raise HeaderParseError(
+                f"initial token length: {exc}", reason="bad-varint"
+            ) from exc
         if pos + token_len > len(data):
-            raise HeaderParseError("initial token truncated")
+            raise HeaderParseError(
+                "initial token truncated", reason="truncated-payload"
+            )
         token = data[pos : pos + token_len]
         pos += token_len
     try:
         length, pos = decode_varint(data, pos)
     except VarintError as exc:
-        raise HeaderParseError(f"long header length: {exc}") from exc
+        raise HeaderParseError(
+            f"long header length: {exc}", reason="bad-varint"
+        ) from exc
     end = pos + length
     if end > len(data):
-        raise HeaderParseError("long header payload truncated")
+        raise HeaderParseError(
+            "long header payload truncated", reason="truncated-payload"
+        )
     if length < 4:
         # RFC 9001 §5.4.2 requires pn + payload to allow a 4-byte HP sample
-        raise HeaderParseError(f"long header payload too short ({length})")
+        raise HeaderParseError(
+            f"long header payload too short ({length})",
+            reason="payload-too-short",
+        )
     header = LongHeader(
         packet_type=packet_type,
         version=version,
@@ -261,13 +293,20 @@ def parse_header(data: bytes, offset: int = 0) -> HeaderView:
 
 def _parse_cid(data: bytes, pos: int) -> tuple[bytes, int]:
     if pos >= len(data):
-        raise HeaderParseError("connection ID length truncated")
+        raise HeaderParseError(
+            "connection ID length truncated", reason="bad-connection-id"
+        )
     cid_len = data[pos]
     pos += 1
     if cid_len > MAX_CID_LEN:
-        raise HeaderParseError(f"connection ID length {cid_len} exceeds 20")
+        raise HeaderParseError(
+            f"connection ID length {cid_len} exceeds 20",
+            reason="bad-connection-id",
+        )
     if pos + cid_len > len(data):
-        raise HeaderParseError("connection ID truncated")
+        raise HeaderParseError(
+            "connection ID truncated", reason="bad-connection-id"
+        )
     return data[pos : pos + cid_len], pos + cid_len
 
 

@@ -222,6 +222,6 @@ def split_datagram(data: bytes) -> list:
         # offsets inside the view are absolute within `data`
         views.append(view)
         if view.end <= offset:
-            raise HeaderParseError("packet does not advance")
+            raise HeaderParseError("packet does not advance", reason="no-advance")
         offset = view.end
     return views

@@ -156,6 +156,9 @@ class StreamTelemetry:
     active_floods: int = 0
     #: size of the per-source tally maps — the bounded-memory proxy.
     tracked_sources: int = 0
+    #: corrupt pcap records skipped by a lenient feed (see
+    #: ``follow_pcap(lenient=True)``); fed via record_corrupt_records.
+    corrupt_records: int = 0
 
     @property
     def watermark_lag(self) -> float:
@@ -263,6 +266,17 @@ class StreamAnalyzer:
         events = self._drain(self.telemetry.watermark)
         self._update_gauges()
         return events
+
+    def record_corrupt_records(self, count: int) -> None:
+        """Tally corrupt pcap records a lenient feed skipped.
+
+        The feed owns the reader, so the count arrives as deltas via
+        :func:`repro.stream.feeds.follow_pcap`'s ``on_corrupt`` hook;
+        the analyzer only mirrors it into telemetry (the registry
+        counter is published by the feed itself).
+        """
+        if count:
+            self.telemetry.corrupt_records += count
 
     def result(self) -> PipelineResult:
         """The batch-identical analysis result (exact mode only)."""
@@ -515,8 +529,12 @@ class StreamAnalyzer:
             ["tracked sources", str(telemetry.tracked_sources)],
             ["sessions evicted", f"{telemetry.evicted_sessions:,}"],
             ["sources pruned", f"{telemetry.pruned_sources:,}"],
-            ["correlation window", str(self.correlator.window_size)],
         ]
+        if telemetry.corrupt_records:
+            rows.append(
+                ["corrupt pcap records", f"{telemetry.corrupt_records:,}"]
+            )
+        rows.append(["correlation window", str(self.correlator.window_size)])
         mode = "bounded" if self.stream_config.bounded else "exact"
         return format_table(
             ["metric", "value"], rows, title=f"Streaming monitor summary ({mode} mode)"

@@ -18,10 +18,12 @@ INSTRUMENTED_MODULES = (
     "repro.core.pipeline",
     "repro.core.parallel",
     "repro.stream.analyzer",
+    "repro.stream.feeds",
     "repro.telescope.telescope",
     "repro.telescope.backscatter",
     "repro.telescope.scanners",
     "repro.quic.crypto",
+    "repro.faults.inject",
 )
 
 ROW = re.compile(

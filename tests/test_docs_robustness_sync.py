@@ -1,0 +1,70 @@
+"""docs/ROBUSTNESS.md is a contract, not prose.
+
+The malformed-class reference table must list exactly the
+``MalformedReason`` slugs the dissector can emit, and the fault
+taxonomy table exactly the ``FAULT_KINDS`` the injector implements —
+both directions, so adding an enum member or a fault kind without
+documenting it (or documenting one that does not exist) fails here.
+"""
+
+import pathlib
+import re
+
+from repro.core.dissect import MalformedReason
+from repro.faults import FAULT_KINDS
+
+DOCS = pathlib.Path(__file__).resolve().parent.parent / "docs" / "ROBUSTNESS.md"
+
+ROW = re.compile(r"^\|\s*`(?P<key>[a-z0-9-]+)`\s*\|\s*(?P<meaning>[^|]+?)\s*\|$")
+
+
+def table_keys(heading: str) -> dict:
+    """Parse the two-column table under ``heading`` into {key: meaning}."""
+    rows = {}
+    in_section = False
+    for line in DOCS.read_text().splitlines():
+        if line.startswith("#"):
+            in_section = heading in line
+            continue
+        if not in_section:
+            continue
+        match = ROW.match(line)
+        if not match:
+            continue
+        key = match.group("key")
+        assert key not in rows, f"{key} documented twice under {heading!r}"
+        rows[key] = match.group("meaning")
+    return rows
+
+
+def test_malformed_reason_table_matches_enum():
+    documented = table_keys("Malformed-class reference")
+    live = {reason.value for reason in MalformedReason}
+    assert documented, "no malformed-class rows parsed from ROBUSTNESS.md"
+    missing = sorted(live - set(documented))
+    stale = sorted(set(documented) - live)
+    assert not missing, f"MalformedReason slugs missing from docs: {missing}"
+    assert not stale, f"docs list unknown malformed classes: {stale}"
+    for key, meaning in documented.items():
+        assert len(meaning) > 10, f"{key}: meaning cell looks empty"
+
+
+def test_fault_taxonomy_table_matches_kinds():
+    documented = table_keys("Fault taxonomy")
+    assert documented, "no fault-kind rows parsed from ROBUSTNESS.md"
+    assert tuple(documented) == FAULT_KINDS, (
+        "fault table must list FAULT_KINDS exactly, in application order: "
+        f"documented {tuple(documented)}, live {FAULT_KINDS}"
+    )
+
+
+def test_metrics_cross_references_hold():
+    """ROBUSTNESS.md names two metric families; they must exist (the
+    full name/type/label sync lives in test_docs_metrics_sync.py)."""
+    text = DOCS.read_text()
+    for name in (
+        "repro_malformed_packets_total",
+        "repro_pcap_corrupt_records_total",
+        "repro_faults_injected_total",
+    ):
+        assert name in text, f"{name} no longer mentioned in ROBUSTNESS.md"

@@ -1,0 +1,195 @@
+"""Seeded fuzz suite for the dissector and the QUIC header parsers.
+
+Three layers, all driven by :class:`~repro.util.rng.SeededRng` (no
+external fuzzing deps, bit-reproducible by seed):
+
+- **random bytes** — arbitrary payloads must never escape
+  ``QuicDissector.dissect`` as an exception, and ``parse_header`` /
+  ``split_datagram`` may only raise their typed ``HeaderParseError``
+  (whose ``reason`` slug must sit in the ``MalformedReason`` taxonomy);
+- **structure-aware mutations** — valid QUIC datagrams (client
+  Initials, Retry, Version Negotiation) with seeded bit flips,
+  truncations, splices and length-field damage, which reach the deep
+  parser paths random bytes almost never hit;
+- **differential check** — whenever the dissector declares a payload
+  valid with a long-header first packet, the raw header parser must
+  agree on form, version and DCID (and vice versa: a parser failure on
+  the whole datagram means the dissector may only accept it as gQUIC).
+
+Iteration budget comes from ``REPRO_FUZZ_ITERS`` (default keeps tier-1
+fast; CI's fuzz-smoke job and the acceptance run raise it).  Any input
+that breaks a contract is dumped hex-encoded to ``tests/out/crashers/``
+for triage and, once fixed, promoted into ``tests/data/corpus/`` —
+which is replayed below on every tier-1 run.
+"""
+
+import hashlib
+import os
+import pathlib
+
+import pytest
+
+from repro.core.dissect import Dissection, MalformedReason, QuicDissector
+from repro.quic.header import HeaderParseError, LongHeader, parse_header
+from repro.quic.packet import split_datagram
+from repro.quic.connection import ClientConnection
+from repro.quic.header import RetryPacket, VersionNegotiationPacket
+from repro.util.rng import SeededRng
+
+ITERS = int(os.environ.get("REPRO_FUZZ_ITERS", "300"))
+CORPUS = pathlib.Path(__file__).parent / "data" / "corpus"
+CRASHERS = pathlib.Path(__file__).parent / "out" / "crashers"
+
+REASON_SLUGS = {reason.value for reason in MalformedReason}
+
+
+def _dump_crasher(payload: bytes, note: str) -> pathlib.Path:
+    CRASHERS.mkdir(parents=True, exist_ok=True)
+    digest = hashlib.sha256(payload).hexdigest()[:16]
+    path = CRASHERS / f"{digest}.hex"
+    path.write_text(payload.hex() + "\n# " + note + "\n")
+    return path
+
+
+def _check_contracts(payload: bytes, dissector: QuicDissector) -> None:
+    """The never-raise + typed-error + differential contract for one
+    payload; dumps a crasher file before failing."""
+    try:
+        dissection = dissector.dissect(payload)
+    except Exception as exc:  # noqa: BLE001 - the point of the fuzz
+        path = _dump_crasher(payload, f"dissect raised {exc!r}")
+        raise AssertionError(
+            f"dissector raised {exc!r} (crasher saved to {path})"
+        ) from exc
+    assert isinstance(dissection, Dissection)
+    if not dissection.valid:
+        assert dissection.reason is not None, (
+            f"invalid dissection without reason for {payload.hex()!r}"
+        )
+        assert dissection.reason.value in REASON_SLUGS
+
+    parser_view = None
+    try:
+        parser_view = parse_header(payload, 0)
+        split_datagram(payload)
+    except HeaderParseError as exc:
+        assert exc.reason in REASON_SLUGS, (
+            f"HeaderParseError reason {exc.reason!r} outside taxonomy"
+        )
+    except Exception as exc:  # noqa: BLE001
+        path = _dump_crasher(payload, f"parse_header raised {exc!r}")
+        raise AssertionError(
+            f"header parser raised {exc!r} (crasher saved to {path})"
+        ) from exc
+
+    # differential: dissector-accepted long headers agree with the parser
+    if dissection.valid and dissection.packets:
+        first = dissection.packets[0]
+        if isinstance(parser_view, LongHeader):
+            assert first.version == parser_view.version, payload.hex()
+            assert first.dcid == parser_view.dcid, payload.hex()
+            assert first.scid == parser_view.scid, payload.hex()
+        elif parser_view is None:
+            # parser rejected the datagram: only the legacy gQUIC path
+            # may still accept it
+            assert first.packet_type.value == "gquic", payload.hex()
+
+
+@pytest.fixture(scope="module")
+def dissector():
+    return QuicDissector()
+
+
+def valid_datagrams():
+    """Structure-aware seed inputs covering every header family."""
+    rng = SeededRng(0xD15C, "fuzz-seeds")
+    out = [
+        ClientConnection(rng.child("a")).initial_datagram(),
+        ClientConnection(rng.child("b"), server_name="fuzz.test").initial_datagram(),
+        RetryPacket(
+            version=0x00000001,
+            dcid=b"",
+            scid=rng.randbytes(8),
+            token=rng.randbytes(24),
+            integrity_tag=rng.randbytes(16),
+        ).serialize(),
+        VersionNegotiationPacket(
+            dcid=rng.randbytes(8),
+            scid=rng.randbytes(8),
+            supported_versions=(0x00000001, 0x6B3343CF),
+        ).serialize(),
+        bytes([0x40]) + rng.randbytes(40),  # plausible short header
+    ]
+    return out
+
+
+def test_fuzz_random_bytes(dissector):
+    rng = SeededRng(0xF0221, "fuzz-random")
+    for i in range(ITERS):
+        length = rng.randint(0, 64) if i % 3 else rng.randint(0, 1500)
+        _check_contracts(rng.randbytes(length), dissector)
+
+
+def test_fuzz_structure_aware_mutations(dissector):
+    rng = SeededRng(0xF0222, "fuzz-mutate")
+    seeds = valid_datagrams()
+    for seed_payload in seeds:
+        _check_contracts(seed_payload, dissector)  # unmutated sanity
+    for _ in range(ITERS):
+        data = bytearray(rng.choice(seeds))
+        for _mutation in range(rng.randint(1, 4)):
+            choice = rng.randint(0, 4)
+            if choice == 0 and data:  # bit flip
+                index = rng.randint(0, len(data) - 1)
+                data[index] ^= 1 << rng.randint(0, 7)
+            elif choice == 1 and data:  # byte overwrite
+                data[rng.randint(0, len(data) - 1)] = rng.randint(0, 255)
+            elif choice == 2 and len(data) > 1:  # truncate
+                del data[rng.randint(1, len(data) - 1) :]
+            elif choice == 3:  # extend with garbage (coalesced tail)
+                data.extend(rng.randbytes(rng.randint(1, 32)))
+            else:  # splice two seeds
+                other = rng.choice(seeds)
+                cut = rng.randint(0, len(data))
+                data = bytearray(bytes(data[:cut]) + other[cut:])
+        _check_contracts(bytes(data), dissector)
+
+
+def test_fuzz_interesting_boundaries(dissector):
+    """Hand-picked boundary shapes the random layers may miss."""
+    cases = [
+        b"",
+        b"\x00",
+        b"\x80",  # long form, no fixed bit, truncated
+        b"\xc0",  # long form + fixed bit, truncated
+        b"\xc0\x00\x00\x00\x01",  # version but no CIDs
+        b"\xc0\x00\x00\x00\x01\x15" + b"x" * 4,  # CID length > remaining
+        b"\x80\x00\x00\x00\x00\x00\x00",  # VN with empty list
+        b"\xc0\x00\x00\x00\x01\x00\x00\xff",  # bad token varint
+        b"\x40" + b"y" * 10,  # short header below MIN_SHORT_HEADER_LEN
+        bytes(1200),  # all zeros, MTU sized
+        b"\xff" * 1500,
+    ]
+    for payload in cases:
+        _check_contracts(payload, dissector)
+
+
+def test_corpus_replay(dissector):
+    """Every checked-in crasher/edge case stays fixed."""
+    corpus = sorted(CORPUS.glob("*.hex"))
+    assert corpus, "regression corpus is empty"
+    for path in corpus:
+        hex_text = "".join(
+            line.strip()
+            for line in path.read_text().splitlines()
+            if line.strip() and not line.startswith("#")
+        )
+        _check_contracts(bytes.fromhex(hex_text), dissector)
+
+
+def test_no_stale_crashers():
+    """A populated tests/out/crashers/ means an unfixed, unpromoted
+    finding — keep the tree clean once fixes land."""
+    if CRASHERS.exists():
+        stale = sorted(p.name for p in CRASHERS.glob("*.hex"))
+        assert not stale, f"unresolved fuzz crashers: {stale}"
