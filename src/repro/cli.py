@@ -91,6 +91,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "repro_pcap_corrupt_records_total)",
     )
     _workers_arg(analyze)
+    _lane_arg(analyze)
     _metrics_arg(analyze)
     _faults_args(analyze)
 
@@ -99,6 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--report-out", help="also write the report to a file")
     report.add_argument("--export", help="write per-figure CSV/JSON data here")
     _workers_arg(report)
+    _lane_arg(report)
     _metrics_arg(report)
     _faults_args(report)
 
@@ -146,6 +148,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip-and-count corrupt pcap records while tail-following "
         "(surfaced in the stream report and StreamTelemetry)",
     )
+    _lane_arg(watch)
     _metrics_arg(watch)
     _faults_args(watch)
 
@@ -165,9 +168,10 @@ def _build_parser() -> argparse.ArgumentParser:
     _scenario_args(profile)
     profile.add_argument(
         "--stage",
-        choices=["generate", "analyze", "both"],
+        choices=["generate", "analyze", "batch", "both"],
         default="both",
-        help="which pipeline stage to profile (default: both)",
+        help="which pipeline stage to profile ('batch' profiles only "
+        "the columnar fast lane's per-packet phase; default: both)",
     )
     profile.add_argument(
         "--top", type=int, default=25, help="print this many functions"
@@ -207,6 +211,17 @@ def _workers_arg(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="worker processes for the per-packet phase (sharded by "
         "source IP; results are identical to --workers 1)",
+    )
+
+
+def _lane_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fast-lane",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the per-packet phase on the columnar batch fast lane "
+        "(results are identical either way; --no-fast-lane forces the "
+        "rich per-packet classifier/dissector)",
     )
 
 
@@ -276,16 +291,20 @@ def _scenario(args: argparse.Namespace) -> Scenario:
     return Scenario(config)
 
 
-def _pipeline(scenario: Optional[Scenario], workers: int = 1) -> QuicsandPipeline:
+def _pipeline(
+    scenario: Optional[Scenario], workers: int = 1, fast_lane: bool = True
+) -> QuicsandPipeline:
     if scenario is None:
         return QuicsandPipeline(
-            config=AnalysisConfig(retry_probe_count=0, workers=workers)
+            config=AnalysisConfig(
+                retry_probe_count=0, workers=workers, fast_lane=fast_lane
+            )
         )
     return QuicsandPipeline(
         registry=scenario.internet.registry,
         census=scenario.internet.census,
         greynoise=scenario.internet.greynoise,
-        config=AnalysisConfig(workers=workers),
+        config=AnalysisConfig(workers=workers, fast_lane=fast_lane),
     )
 
 
@@ -317,7 +336,7 @@ def cmd_analyze(args, stream) -> int:
     if injector == 2:
         return 2
     scenario = None if args.no_correlation else _scenario(args)
-    pipeline = _pipeline(scenario, workers=args.workers)
+    pipeline = _pipeline(scenario, workers=args.workers, fast_lane=args.fast_lane)
     with open(args.pcap, "rb") as pcap_stream:
         reader = PcapReader(pcap_stream, lenient=args.lenient)
         packets = iter(reader)
@@ -346,7 +365,7 @@ def cmd_report(args, stream) -> int:
     if injector == 2:
         return 2
     scenario = _scenario(args)
-    pipeline = _pipeline(scenario, workers=args.workers)
+    pipeline = _pipeline(scenario, workers=args.workers, fast_lane=args.fast_lane)
     packets = scenario.packets()
     if injector is not None:
         packets = injector.wrap(packets)
@@ -383,7 +402,7 @@ def cmd_watch(args, stream) -> int:
         registry=scenario.internet.registry,
         census=scenario.internet.census,
         greynoise=scenario.internet.greynoise,
-        config=AnalysisConfig(),
+        config=AnalysisConfig(fast_lane=args.fast_lane),
         stream_config=StreamConfig(bounded=not args.exact),
     )
     injector = _fault_injector(args, stream)
@@ -454,6 +473,9 @@ def cmd_profile(args, stream) -> int:
         packets = list(scenario.packets())
     generate_elapsed = time.perf_counter() - start
 
+    if args.stage == "batch":
+        return _profile_batch(args, stream, scenario, packets, profiler, generate_elapsed)
+
     pipeline = _pipeline(scenario)
     start = time.perf_counter()
     if profile_analyze:
@@ -475,6 +497,61 @@ def cmd_profile(args, stream) -> int:
         f"({count / generate_elapsed:,.0f} pps)   "
         f"analyze: {analyze_elapsed:.2f} s "
         f"({count / analyze_elapsed:,.0f} pps)",
+        file=stream,
+    )
+    print(f"analyzed packets: {result.total_packets:,}\n", file=stream)
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.dump:
+        stats.dump_stats(args.dump)
+        print(f"pstats dump written to {args.dump}", file=stream)
+    return 0
+
+
+def _profile_batch(args, stream, scenario, packets, profiler, generate_elapsed) -> int:
+    """``profile --stage batch``: profile only the columnar fast lane's
+    per-packet phase (generation and finalization run unprofiled), then
+    print the lane's own hot-path telemetry."""
+    import pstats
+    import time
+
+    from repro.core.batchlane import BatchLane
+    from repro.core.pipeline import PartialState
+    from repro.util.batching import batched
+
+    pipeline = _pipeline(scenario)
+    cfg = pipeline.config
+    lane = BatchLane(dissect_payloads=cfg.dissect_payloads)
+    state = PartialState.initial(cfg)
+    start = time.perf_counter()
+    profiler.enable()
+    for batch in batched(iter(packets), cfg.batch_size):
+        state.consume_lane(batch, lane)
+    profiler.disable()
+    batch_elapsed = time.perf_counter() - start
+    state.record_classifier(lane)
+    state.close()
+    result = pipeline.finalize_state(state)
+
+    count = len(packets)
+    print(
+        f"profiled stage(s): batch  ({count:,} packets, "
+        f"{len(scenario.plan.quic_floods)} planned QUIC floods)",
+        file=stream,
+    )
+    print(
+        f"generate: {generate_elapsed:.2f} s "
+        f"({count / generate_elapsed:,.0f} pps)   "
+        f"batch lane: {batch_elapsed:.2f} s "
+        f"({count / batch_elapsed:,.0f} pps)",
+        file=stream,
+    )
+    memo_total = lane.cache_hits + lane.cache_misses
+    hit_rate = lane.cache_hits / memo_total if memo_total else 0.0
+    fallbacks = sum(lane.fallbacks.values())
+    print(
+        f"lane: {lane.fast_parses:,} fast parses, {fallbacks:,} rich "
+        f"fallbacks, memo hit rate {hit_rate:.1%}",
         file=stream,
     )
     print(f"analyzed packets: {result.total_packets:,}\n", file=stream)

@@ -215,6 +215,17 @@ class QuicDissector:
             self.cache_hits += 1
         return result
 
+    def dissect_once(self, payload: bytes) -> Dissection:
+        """One uncached dissection (same never-raise contract).
+
+        Entry point for callers that memoize at a higher level — the
+        batch lane's fallback path caches :data:`LaneEntry` tuples
+        keyed by payload, so routing through :meth:`dissect` would
+        double-store every fallback payload and double-count the
+        hit/miss telemetry.
+        """
+        return self._dissect_uncached(payload)
+
     def _dissect_uncached(self, payload: bytes) -> Dissection:
         # The never-raise contract: telescope input is arbitrary
         # Internet bytes, so a parser bug must degrade to a tallied

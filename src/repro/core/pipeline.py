@@ -36,9 +36,12 @@ from repro import obs
 from repro.internet.activescan import ActiveScanCensus
 from repro.internet.asn import AsRegistry, NetworkType
 from repro.internet.greynoise import GreyNoisePlatform
+from repro.net.icmp import IcmpType
+from repro.net.tcp import TcpFlags
 from repro.util.batching import batched
 from repro.util.rng import SeededRng
 from repro.util.timeutil import HOUR
+from repro.core.batchlane import BatchLane
 from repro.core.classify import PacketClass, TrafficClassifier
 from repro.core.dos import DosDetector, DosThresholds
 from repro.core.multivector import MultiVectorAnalysis, correlate_attacks
@@ -103,6 +106,20 @@ _M_MALFORMED = obs.counter(
     labels=("reason",),
 )
 
+# int views of the transport predicates the lane loops branch on —
+# identical semantics to TcpHeader.is_syn_ack / .is_rst and
+# IcmpHeader.is_backscatter, without enum dispatch per packet.
+_TCP_SYN = int(TcpFlags.SYN)
+_TCP_RST = int(TcpFlags.RST)
+_TCP_SYN_ACK = int(TcpFlags.SYN | TcpFlags.ACK)
+_ICMP_BACKSCATTER_TYPES = frozenset(
+    (
+        int(IcmpType.ECHO_REPLY),
+        int(IcmpType.DEST_UNREACHABLE),
+        int(IcmpType.TIME_EXCEEDED),
+    )
+)
+
 
 @dataclass
 class AnalysisConfig:
@@ -114,6 +131,11 @@ class AnalysisConfig:
     #: and exceeds this many QUIC packets.
     research_min_packets: int = 1000
     dissect_payloads: bool = True
+    #: run the per-packet phase on the columnar batch fast lane (see
+    #: :mod:`repro.core.batchlane`); results are bit-identical to the
+    #: rich path, pinned by tests/test_lane_equivalence.py.  False
+    #: forces the rich classifier/dissector (``--no-fast-lane``).
+    fast_lane: bool = True
     #: probe this many top victims in the active RETRY audit.
     retry_probe_count: int = 10
     audit_seed: int = 424242
@@ -341,6 +363,319 @@ class PartialState:
         _M_PACKETS.inc(len(packets))
         _M_BATCHES.inc()
 
+    def consume_lane(self, packets: list, lane: BatchLane) -> None:
+        """Columnar fast-lane twin of :meth:`consume`.
+
+        Classification is inlined as int comparisons, dissection facts
+        come as memoized :data:`~repro.core.batchlane.LaneEntry` tuples,
+        and sessions absorb precomputed deltas
+        (:meth:`~repro.core.sessions.Sessionizer.add_entry`) — no
+        ``ClassifiedPacket``/``Dissection`` construction per packet.
+        Every counter update mirrors :meth:`consume` exactly; the lane
+        equivalence suite pins the two paths bit for bit.
+        """
+        if not packets:
+            return
+        if self.window_start is None:
+            self.window_start = packets[0].timestamp
+        self.window_end = packets[-1].timestamp
+        self.total_packets += len(packets)
+        entry_for = lane.entry_for
+        dissect = lane.dissect_payloads
+        malformed_counts = self.malformed_counts
+        sessionizers = self.sessionizers
+        request_add = sessionizers[PacketClass.QUIC_REQUEST].add_entry
+        response_add = sessionizers[PacketClass.QUIC_RESPONSE].add_entry
+        tcp_add = sessionizers[PacketClass.TCP_BACKSCATTER].add_entry
+        icmp_add = sessionizers[PacketClass.ICMP_BACKSCATTER].add_entry
+        sweep_observe = self.sweep.observe
+        quic_source_packets = self.quic_source_packets
+        per_source_hourly = self.per_source_hourly
+        hourly_requests = self.hourly_requests
+        hourly_responses = self.hourly_responses
+        response_long = 0
+        response_empty_dcid = 0
+        retry_packets = 0
+        n_request = n_response = n_nonquic = n_other_udp = 0
+        n_tcp_request = n_tcp_back = n_tcp_other = 0
+        n_icmp_back = n_icmp_other = n_other = 0
+        for packet in packets:
+            if packet.is_udp:
+                src443 = packet.src_port == 443
+                dst443 = packet.dst_port == 443
+                if src443:
+                    if dst443:
+                        # never observed in the paper's data; rejected
+                        # before dissection, like the rich classifier
+                        n_nonquic += 1
+                        malformed_counts["port-conflict"] = (
+                            malformed_counts.get("port-conflict", 0) + 1
+                        )
+                        continue
+                elif not dst443:
+                    n_other_udp += 1
+                    continue
+                entry = None
+                delta = None
+                if dissect:
+                    entry = entry_for(packet.payload)
+                    if not entry[0]:
+                        n_nonquic += 1
+                        reason = entry[1]
+                        malformed_counts[reason] = (
+                            malformed_counts.get(reason, 0) + 1
+                        )
+                        continue
+                    delta = entry[2]
+                timestamp = packet.timestamp
+                source = packet.src
+                hour = int(timestamp // HOUR)
+                quic_source_packets[source] = (
+                    quic_source_packets.get(source, 0) + 1
+                )
+                if dst443:
+                    n_request += 1
+                    hours = per_source_hourly.setdefault(source, {})
+                    hours[hour] = hours.get(hour, 0) + 1
+                    hourly_requests[hour] = hourly_requests.get(hour, 0) + 1
+                    sweep_observe(source, timestamp)
+                    request_add(
+                        source,
+                        timestamp,
+                        packet.dst,
+                        packet.dst_port,
+                        packet.wire_length,
+                        delta,
+                    )
+                else:
+                    n_response += 1
+                    hourly_responses[hour] = hourly_responses.get(hour, 0) + 1
+                    if entry is not None:
+                        if entry[3]:
+                            retry_packets += 1
+                        if entry[4]:
+                            response_long += 1
+                            if entry[5]:
+                                response_empty_dcid += 1
+                    sweep_observe(source, timestamp)
+                    response_add(
+                        source,
+                        timestamp,
+                        packet.dst,
+                        packet.dst_port,
+                        packet.wire_length,
+                        delta,
+                    )
+            elif packet.is_tcp:
+                transport = packet.transport
+                if transport is None:
+                    n_tcp_other += 1
+                    continue
+                flags = int(transport.flags)
+                if (flags & _TCP_SYN_ACK) == _TCP_SYN_ACK or flags & _TCP_RST:
+                    n_tcp_back += 1
+                    tcp_add(
+                        packet.src,
+                        packet.timestamp,
+                        packet.dst,
+                        packet.dst_port,
+                        packet.wire_length,
+                        None,
+                    )
+                elif flags & _TCP_SYN:
+                    n_tcp_request += 1
+                else:
+                    n_tcp_other += 1
+            elif packet.is_icmp:
+                transport = packet.transport
+                if (
+                    transport is not None
+                    and transport.icmp_type in _ICMP_BACKSCATTER_TYPES
+                ):
+                    n_icmp_back += 1
+                    icmp_add(
+                        packet.src,
+                        packet.timestamp,
+                        packet.dst,
+                        None,
+                        packet.wire_length,
+                        None,
+                    )
+                else:
+                    n_icmp_other += 1
+            else:
+                n_other += 1
+        counters = lane.counters
+        counters[PacketClass.QUIC_REQUEST] += n_request
+        counters[PacketClass.QUIC_RESPONSE] += n_response
+        counters[PacketClass.NON_QUIC_UDP443] += n_nonquic
+        counters[PacketClass.OTHER_UDP] += n_other_udp
+        counters[PacketClass.TCP_REQUEST] += n_tcp_request
+        counters[PacketClass.TCP_BACKSCATTER] += n_tcp_back
+        counters[PacketClass.TCP_OTHER] += n_tcp_other
+        counters[PacketClass.ICMP_BACKSCATTER] += n_icmp_back
+        counters[PacketClass.ICMP_OTHER] += n_icmp_other
+        counters[PacketClass.OTHER] += n_other
+        self.response_long_header_packets += response_long
+        self.response_empty_dcid_packets += response_empty_dcid
+        self.passive_retry_packets += retry_packets
+        _M_PACKETS.inc(len(packets))
+        _M_BATCHES.inc()
+
+    def consume_lane_records(self, records: list, lane: BatchLane) -> None:
+        """:meth:`consume_lane` over scalar wire records.
+
+        The shared-memory shard transport ships packets as flat field
+        tuples (see :mod:`repro.core.parallel`) — one record is
+        ``(timestamp, src, dst, total_length, proto, kind, f1, f2, f3,
+        payload_length, payload)`` with ``kind`` naming the parsed
+        transport (0 none, 1 UDP, 2 TCP, 3 ICMP), ``f1/f2`` the ports
+        (TCP/UDP) or ICMP type/code, and ``f3`` the TCP flags.
+        ``payload`` is only materialized for dissectable UDP/443
+        packets; ``payload_length`` is always the true length so wire
+        lengths match :attr:`CapturedPacket.wire_length` exactly.
+        """
+        if not records:
+            return
+        if self.window_start is None:
+            self.window_start = records[0][0]
+        self.window_end = records[-1][0]
+        self.total_packets += len(records)
+        entry_for = lane.entry_for
+        dissect = lane.dissect_payloads
+        malformed_counts = self.malformed_counts
+        sessionizers = self.sessionizers
+        request_add = sessionizers[PacketClass.QUIC_REQUEST].add_entry
+        response_add = sessionizers[PacketClass.QUIC_RESPONSE].add_entry
+        tcp_add = sessionizers[PacketClass.TCP_BACKSCATTER].add_entry
+        icmp_add = sessionizers[PacketClass.ICMP_BACKSCATTER].add_entry
+        sweep_observe = self.sweep.observe
+        quic_source_packets = self.quic_source_packets
+        per_source_hourly = self.per_source_hourly
+        hourly_requests = self.hourly_requests
+        hourly_responses = self.hourly_responses
+        response_long = 0
+        response_empty_dcid = 0
+        retry_packets = 0
+        n_request = n_response = n_nonquic = n_other_udp = 0
+        n_tcp_request = n_tcp_back = n_tcp_other = 0
+        n_icmp_back = n_icmp_other = n_other = 0
+        for record in records:
+            (
+                timestamp,
+                source,
+                dst,
+                total_length,
+                proto,
+                kind,
+                f1,
+                f2,
+                f3,
+                payload_length,
+                payload,
+            ) = record
+            if proto == 17:
+                # ports mirror CapturedPacket's derivation: present for
+                # parsed UDP/TCP transports, None otherwise
+                if kind == 1 or kind == 2:
+                    src443 = f1 == 443
+                    dst443 = f2 == 443
+                    dst_port = f2
+                else:
+                    n_other_udp += 1
+                    continue
+                if src443:
+                    if dst443:
+                        n_nonquic += 1
+                        malformed_counts["port-conflict"] = (
+                            malformed_counts.get("port-conflict", 0) + 1
+                        )
+                        continue
+                elif not dst443:
+                    n_other_udp += 1
+                    continue
+                entry = None
+                delta = None
+                if dissect:
+                    entry = entry_for(payload)
+                    if not entry[0]:
+                        n_nonquic += 1
+                        reason = entry[1]
+                        malformed_counts[reason] = (
+                            malformed_counts.get(reason, 0) + 1
+                        )
+                        continue
+                    delta = entry[2]
+                wire_length = total_length or (
+                    28 + payload_length  # IPv4 20 + UDP 8
+                    if kind == 1
+                    else 40 + payload_length  # IPv4 20 + TCP 20
+                )
+                hour = int(timestamp // HOUR)
+                quic_source_packets[source] = (
+                    quic_source_packets.get(source, 0) + 1
+                )
+                if dst443:
+                    n_request += 1
+                    hours = per_source_hourly.setdefault(source, {})
+                    hours[hour] = hours.get(hour, 0) + 1
+                    hourly_requests[hour] = hourly_requests.get(hour, 0) + 1
+                    sweep_observe(source, timestamp)
+                    request_add(
+                        source, timestamp, dst, dst_port, wire_length, delta
+                    )
+                else:
+                    n_response += 1
+                    hourly_responses[hour] = hourly_responses.get(hour, 0) + 1
+                    if entry is not None:
+                        if entry[3]:
+                            retry_packets += 1
+                        if entry[4]:
+                            response_long += 1
+                            if entry[5]:
+                                response_empty_dcid += 1
+                    sweep_observe(source, timestamp)
+                    response_add(
+                        source, timestamp, dst, dst_port, wire_length, delta
+                    )
+            elif proto == 6:
+                if kind != 2:
+                    n_tcp_other += 1
+                    continue
+                if (f3 & _TCP_SYN_ACK) == _TCP_SYN_ACK or f3 & _TCP_RST:
+                    n_tcp_back += 1
+                    wire_length = total_length or 40 + payload_length
+                    tcp_add(source, timestamp, dst, f2, wire_length, None)
+                elif f3 & _TCP_SYN:
+                    n_tcp_request += 1
+                else:
+                    n_tcp_other += 1
+            elif proto == 1:
+                if kind == 3 and f1 in _ICMP_BACKSCATTER_TYPES:
+                    n_icmp_back += 1
+                    wire_length = total_length or 28 + payload_length
+                    icmp_add(source, timestamp, dst, None, wire_length, None)
+                else:
+                    n_icmp_other += 1
+            else:
+                n_other += 1
+        counters = lane.counters
+        counters[PacketClass.QUIC_REQUEST] += n_request
+        counters[PacketClass.QUIC_RESPONSE] += n_response
+        counters[PacketClass.NON_QUIC_UDP443] += n_nonquic
+        counters[PacketClass.OTHER_UDP] += n_other_udp
+        counters[PacketClass.TCP_REQUEST] += n_tcp_request
+        counters[PacketClass.TCP_BACKSCATTER] += n_tcp_back
+        counters[PacketClass.TCP_OTHER] += n_tcp_other
+        counters[PacketClass.ICMP_BACKSCATTER] += n_icmp_back
+        counters[PacketClass.ICMP_OTHER] += n_icmp_other
+        counters[PacketClass.OTHER] += n_other
+        self.response_long_header_packets += response_long
+        self.response_empty_dcid_packets += response_empty_dcid
+        self.passive_retry_packets += retry_packets
+        _M_PACKETS.inc(len(records))
+        _M_BATCHES.inc()
+
     def record_classifier(self, classifier: TrafficClassifier) -> None:
         """Fold the classifier's counters into the partial state.
 
@@ -361,6 +696,9 @@ class PartialState:
             _M_DISSECT_HITS.inc(classifier.cache_hits)
         if classifier.cache_misses:
             _M_DISSECT_MISSES.inc(classifier.cache_misses)
+        publish = getattr(classifier, "publish_lane_metrics", None)
+        if publish is not None:
+            publish()
 
     def close(self) -> None:
         """End of shard stream: close every open session.
@@ -478,12 +816,18 @@ class QuicsandPipeline:
         else:
             with obs.span(_M_STAGE, stage="per-packet-serial"):
                 state = PartialState.initial(cfg)
-                classifier = TrafficClassifier(
-                    dissect_payloads=cfg.dissect_payloads
-                )
-                for batch in batched(stream, cfg.batch_size):
-                    state.consume(batch, classifier)
-                state.record_classifier(classifier)
+                if cfg.fast_lane:
+                    lane = BatchLane(dissect_payloads=cfg.dissect_payloads)
+                    for batch in batched(stream, cfg.batch_size):
+                        state.consume_lane(batch, lane)
+                    state.record_classifier(lane)
+                else:
+                    classifier = TrafficClassifier(
+                        dissect_payloads=cfg.dissect_payloads
+                    )
+                    for batch in batched(stream, cfg.batch_size):
+                        state.consume(batch, classifier)
+                    state.record_classifier(classifier)
                 state.close()
         return self._finalize(state)
 
@@ -503,9 +847,6 @@ class QuicsandPipeline:
         class_counts = {
             cls.value: n for cls, n in state.class_counts.items() if n
         }
-        if state.cache_hits or state.cache_misses:
-            class_counts["dissect-cache-hit"] = state.cache_hits
-            class_counts["dissect-cache-miss"] = state.cache_misses
         for reason, count in state.malformed_counts.items():
             if count:
                 class_counts[f"malformed:{reason}"] = count

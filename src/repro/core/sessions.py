@@ -79,6 +79,43 @@ class Session:
                         self.version_names.get(summary.version_name, 0) + 1
                     )
 
+    def apply_entry(
+        self,
+        timestamp: float,
+        dst: int,
+        dst_port: Optional[int],
+        wire_length: int,
+        delta: Optional[tuple],
+    ) -> None:
+        """Scalar-field twin of :meth:`add` for the batch fast lane.
+
+        ``delta`` is a precomputed per-datagram dissection summary —
+        ``(message_type_counts, scids, version_name_counts,
+        retry_packets)`` with counts as ``((name, n), ...)`` in
+        first-occurrence order — so the resulting dicts and sets are
+        identical (insertion order included) to feeding the packets
+        through :meth:`add` one by one.
+        """
+        self.last_ts = timestamp
+        self.packet_count += 1
+        self.byte_count += wire_length
+        self.dst_ips.add(dst)
+        if dst_port is not None:
+            self.dst_ports.add(dst_port)
+        slot = int(timestamp // MINUTE)
+        self.minute_slots[slot] = self.minute_slots.get(slot, 0) + 1
+        if delta is not None:
+            type_counts, scids, version_counts, retries = delta
+            message_types = self.message_types
+            for name, count in type_counts:
+                message_types[name] = message_types.get(name, 0) + count
+            self.retry_packets += retries
+            if scids:
+                self.scids.update(scids)
+            version_names = self.version_names
+            for name, count in version_counts:
+                version_names[name] = version_names.get(name, 0) + count
+
 
 def _type_name(packet_type: PacketType) -> str:
     return packet_type.name.lower().replace("_", "-")
@@ -154,6 +191,43 @@ class Sessionizer:
             )
             self._open[source] = session
         session.add(classified)
+        if self.on_update is not None:
+            self.on_update(session)
+
+    def add_entry(
+        self,
+        source: int,
+        timestamp: float,
+        dst: int,
+        dst_port: Optional[int],
+        wire_length: int,
+        delta: Optional[tuple],
+    ) -> None:
+        """Scalar-field twin of :meth:`add` (batch fast lane).
+
+        Same gap/timeout/new-session logic; the packet lands via
+        :meth:`Session.apply_entry` instead of a ``ClassifiedPacket``.
+        """
+        session = self._open.get(source)
+        if session is not None:
+            gap = timestamp - session.last_ts
+            if self.record_gaps:
+                self.gaps.append(gap)
+            if gap > self.timeout:
+                self._close(session)
+                session = None
+        if session is None:
+            if source not in self._seen_sources:
+                self._seen_sources.add(source)
+                self.source_count += 1
+            session = Session(
+                source=source,
+                traffic_class=self.traffic_class,
+                first_ts=timestamp,
+                last_ts=timestamp,
+            )
+            self._open[source] = session
+        session.apply_entry(timestamp, dst, dst_port, wire_length, delta)
         if self.on_update is not None:
             self.on_update(session)
 

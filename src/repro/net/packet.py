@@ -130,3 +130,77 @@ class CapturedPacket:
             f"{format_ipv4(self.src)}->{format_ipv4(self.dst)}{ports} "
             f"len={len(self.payload)})"
         )
+
+
+def wire_record(timestamp: float, data: bytes) -> tuple:
+    """Parse wire bytes into the batch lane's flat scalar record.
+
+    Scalar twin of :meth:`CapturedPacket.from_bytes` for the columnar
+    fast lane: returns ``(timestamp, src, dst, total_length, proto,
+    kind, f1, f2, f3, payload_length, payload)`` as consumed by
+    :meth:`repro.core.pipeline.PartialState.consume_lane_records`,
+    without constructing any header dataclass.  ``kind`` is 1/2/3 for a
+    parsed UDP/TCP/ICMP transport and 0 when the transport header does
+    not parse (the same inputs :meth:`from_bytes` maps to a ``None``
+    transport); IP-level errors raise ``ValueError`` exactly like
+    :meth:`from_bytes`.
+    """
+    n = len(data)
+    if n < ipv4.HEADER_LEN:
+        raise ValueError("IPv4 header truncated")
+    ver_ihl = data[0]
+    version = ver_ihl >> 4
+    if version != 4:
+        raise ValueError(f"not an IPv4 packet (version={version})")
+    ihl = ver_ihl & 0xF
+    if ihl < 5:
+        raise ValueError(f"invalid IHL {ihl}")
+    header_len = ihl * 4
+    if n < header_len:
+        raise ValueError("IPv4 options truncated")
+    total = int.from_bytes(data[2:4], "big")
+    proto = data[9]
+    src = int.from_bytes(data[12:16], "big")
+    dst = int.from_bytes(data[16:20], "big")
+    payload_end = min(n, total) if total >= header_len else n
+    body = data[header_len:payload_end]
+    body_len = len(body)
+    kind = 0
+    f1 = f2 = f3 = 0
+    payload = body
+    if proto == _UDP:
+        if body_len >= udp.HEADER_LEN:
+            length = int.from_bytes(body[4:6], "big")
+            if length >= udp.HEADER_LEN:
+                kind = 1
+                f1 = int.from_bytes(body[0:2], "big")
+                f2 = int.from_bytes(body[2:4], "big")
+                payload = body[udp.HEADER_LEN : min(body_len, length)]
+    elif proto == _TCP:
+        if body_len >= tcp.HEADER_LEN:
+            data_offset = (body[12] >> 4) * 4
+            if tcp.HEADER_LEN <= data_offset <= body_len:
+                kind = 2
+                f1 = int.from_bytes(body[0:2], "big")
+                f2 = int.from_bytes(body[2:4], "big")
+                f3 = body[13]
+                payload = body[data_offset:]
+    elif proto == _ICMP:
+        if body_len >= icmp.HEADER_LEN:
+            kind = 3
+            f1 = body[0]
+            f2 = body[1]
+            payload = body[icmp.HEADER_LEN :]
+    return (
+        timestamp,
+        src,
+        dst,
+        total,
+        proto,
+        kind,
+        f1,
+        f2,
+        f3,
+        len(payload),
+        payload,
+    )

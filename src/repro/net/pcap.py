@@ -13,7 +13,7 @@ import struct
 from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator, Optional, Union
 
-from repro.net.packet import CapturedPacket
+from repro.net.packet import CapturedPacket, wire_record
 from repro.util.batching import batched
 
 MAGIC_MICROS = 0xA1B2C3D4
@@ -126,6 +126,21 @@ class PcapReader:
         return True
 
     def __iter__(self) -> Iterator[CapturedPacket]:
+        return self._iterate(CapturedPacket.from_bytes)
+
+    def records(self) -> Iterator[tuple]:
+        """Iterate flat scalar records instead of packet objects.
+
+        Batch-lane entry point: yields the
+        :func:`~repro.net.packet.wire_record` tuples consumed by
+        :meth:`repro.core.pipeline.PartialState.consume_lane_records`,
+        skipping all header-dataclass construction.  Tail/lenient
+        semantics are identical to ``__iter__`` — both parsers accept
+        and reject exactly the same wire bytes.
+        """
+        return self._iterate(wire_record)
+
+    def _iterate(self, parse) -> Iterator:
         if self._record is None and not self._try_read_header():
             return
         record = self._record
@@ -163,13 +178,13 @@ class PcapReader:
             timestamp = seconds + fraction * self._tick
             if lenient:
                 try:
-                    packet = CapturedPacket.from_bytes(timestamp, data)
+                    packet = parse(timestamp, data)
                 except ValueError:
                     self.corrupt_records += 1
                     continue
                 yield packet
             else:
-                yield CapturedPacket.from_bytes(timestamp, data)
+                yield parse(timestamp, data)
 
     def _plausible(self, fraction: int, caplen: int, origlen: int) -> bool:
         """A record header is plausible when its lengths fit the
@@ -270,3 +285,20 @@ def read_pcap_batches(
     workers analyze (see :mod:`repro.core.parallel`).
     """
     return batched(read_pcap(path), batch_size)
+
+
+def read_pcap_records(
+    path: Union[str, Path], batch_size: int = 512, lenient: bool = False
+) -> Iterator[list]:
+    """Yield scalar wire-record batches for the batch fast lane.
+
+    Object-free feed: each batch is a list of
+    :func:`~repro.net.packet.wire_record` tuples ready for
+    :meth:`repro.core.pipeline.PartialState.consume_lane_records`.
+    """
+
+    def _records():
+        with open(path, "rb") as stream:
+            yield from PcapReader(stream, lenient=lenient).records()
+
+    return batched(_records(), batch_size)

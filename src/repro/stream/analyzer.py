@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
 from repro import obs
+from repro.core.batchlane import BatchLane
 from repro.core.classify import PacketClass, TrafficClassifier
 from repro.core.dos import DosDetector
 from repro.core.pipeline import AnalysisConfig, PartialState, PipelineResult, QuicsandPipeline
@@ -196,9 +197,17 @@ class StreamAnalyzer:
         self.config = self.pipeline.config
         self.stream_config = stream_config or StreamConfig()
         self.state = PartialState.initial(self.config)
-        self.classifier = TrafficClassifier(
-            dissect_payloads=self.config.dissect_payloads
-        )
+        # the monitor rides the batch fast lane unless the escape hatch
+        # (--no-fast-lane) asked for the rich classifier; finish() and
+        # record_classifier() are duck-typed over both.
+        if self.config.fast_lane:
+            self.classifier = BatchLane(
+                dissect_payloads=self.config.dissect_payloads
+            )
+        else:
+            self.classifier = TrafficClassifier(
+                dissect_payloads=self.config.dissect_payloads
+            )
         self.detector = DosDetector(self.config.thresholds)
         self.correlator = OnlineCorrelator(
             horizon=self.stream_config.correlation_horizon
@@ -230,7 +239,10 @@ class StreamAnalyzer:
         if not batch:
             return []
         with obs.span(_M_BATCH):
-            self.state.consume(batch, self.classifier)
+            if self.config.fast_lane:
+                self.state.consume_lane(batch, self.classifier)
+            else:
+                self.state.consume(batch, self.classifier)
             telemetry = self.telemetry
             telemetry.packets += len(batch)
             telemetry.batches += 1

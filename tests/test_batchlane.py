@@ -1,0 +1,232 @@
+"""Fallback-boundary property suite for the columnar batch fast lane.
+
+The contract under test: for *every* payload, routing through the fast
+lane (:meth:`BatchLane.entry_for`) and through the rich dissector
+(:func:`entry_from_dissection` over :meth:`QuicDissector.dissect`)
+yields the same :data:`LaneEntry` — in particular the same
+(classification, version, DCID, malformed-slug-or-``None``) tuple the
+downstream pipeline consumes.  Inputs come from the checked-in fuzz
+corpus (``tests/data/corpus/*.hex``), seeded random bytes, the fuzz
+suite's structure-aware mutation generator, and real scenario traffic,
+so both the trivially-rejected bulk and the deep parser paths cross the
+boundary.
+"""
+
+import pathlib
+
+import pytest
+
+from repro import obs
+from repro.core.batchlane import (
+    E_DCID,
+    E_REASON,
+    E_VALID,
+    E_VERSION,
+    FALLBACK_REASONS,
+    BatchLane,
+    entry_from_dissection,
+    fast_entry,
+)
+from repro.core.dissect import MalformedReason, QuicDissector
+from repro.telescope import Scenario, ScenarioConfig
+from repro.util.rng import SeededRng
+from repro.util.timeutil import HOUR
+
+from tests.test_fuzz_dissect import valid_datagrams
+
+CORPUS = pathlib.Path(__file__).parent / "data" / "corpus"
+REASON_SLUGS = {reason.value for reason in MalformedReason}
+
+
+@pytest.fixture(scope="module")
+def dissector():
+    return QuicDissector()
+
+
+def rich_entry(dissector, payload):
+    return entry_from_dissection(dissector.dissect(payload))
+
+
+def assert_same_entry(dissector, payload):
+    """One payload through both paths must agree entry-for-entry."""
+    lane_entry = BatchLane().entry_for(payload)
+    reference = rich_entry(dissector, payload)
+    assert lane_entry == reference, payload.hex()
+    # the ISSUE's boundary tuple, spelled out: classification, version,
+    # DCID, malformed-slug-or-None
+    assert (
+        lane_entry[E_VALID],
+        lane_entry[E_VERSION],
+        lane_entry[E_DCID],
+        lane_entry[E_REASON],
+    ) == (
+        reference[E_VALID],
+        reference[E_VERSION],
+        reference[E_DCID],
+        reference[E_REASON],
+    ), payload.hex()
+    if not lane_entry[E_VALID]:
+        assert lane_entry[E_REASON] in REASON_SLUGS, payload.hex()
+    return lane_entry
+
+
+def corpus_payloads():
+    payloads = []
+    for path in sorted(CORPUS.glob("*.hex")):
+        hex_text = "".join(
+            line.strip()
+            for line in path.read_text().splitlines()
+            if line.strip() and not line.startswith("#")
+        )
+        payloads.append(bytes.fromhex(hex_text))
+    return payloads
+
+
+def test_corpus_boundary_agreement(dissector):
+    payloads = corpus_payloads()
+    assert payloads, "regression corpus is empty"
+    for payload in payloads:
+        assert_same_entry(dissector, payload)
+
+
+def test_random_bytes_boundary_agreement(dissector):
+    rng = SeededRng(0xBA7C4, "lane-random")
+    for i in range(400):
+        length = rng.randint(0, 64) if i % 3 else rng.randint(0, 1500)
+        assert_same_entry(dissector, rng.randbytes(length))
+
+
+def test_structure_aware_boundary_agreement(dissector):
+    """Mutated valid datagrams reach the deep coalesced-walk branches
+    (VN shapes, retry tags, token varints) random bytes rarely hit."""
+    rng = SeededRng(0xBA7C5, "lane-mutate")
+    seeds = valid_datagrams()
+    for seed_payload in seeds:
+        entry = assert_same_entry(dissector, seed_payload)
+        assert entry[E_VALID], seed_payload.hex()
+    for _ in range(400):
+        data = bytearray(rng.choice(seeds))
+        for _mutation in range(rng.randint(1, 4)):
+            choice = rng.randint(0, 4)
+            if choice == 0 and data:
+                index = rng.randint(0, len(data) - 1)
+                data[index] ^= 1 << rng.randint(0, 7)
+            elif choice == 1 and data:
+                data[rng.randint(0, len(data) - 1)] = rng.randint(0, 255)
+            elif choice == 2 and len(data) > 1:
+                del data[rng.randint(1, len(data) - 1) :]
+            elif choice == 3:
+                data.extend(rng.randbytes(rng.randint(1, 32)))
+            else:
+                other = rng.choice(seeds)
+                cut = rng.randint(0, len(data))
+                data = bytearray(bytes(data[:cut]) + other[cut:])
+        assert_same_entry(dissector, bytes(data))
+
+
+def test_scenario_traffic_boundary_agreement(dissector):
+    """Every distinct UDP payload of a real scenario crosses the
+    boundary identically — the mix the lane actually sees in steady
+    state (scan templates, floods, backscatter, stray UDP)."""
+    scenario = Scenario(ScenarioConfig(seed=23, duration=HOUR // 2))
+    seen = set()
+    for packet in scenario.packets():
+        if packet.is_udp and packet.payload not in seen:
+            seen.add(packet.payload)
+            assert_same_entry(dissector, packet.payload)
+    assert len(seen) > 100, "scenario produced too few distinct payloads"
+
+
+def test_trivial_rejects_settle_fast():
+    """The stray-UDP bulk (empty / first-byte rejects) never touches
+    the rich dissector."""
+    lane = BatchLane()
+    assert lane.entry_for(b"")[E_REASON] == "empty"
+    assert lane.entry_for(b"\x00" * 40)[E_REASON] == "no-fixed-bit"
+    assert lane.fast_parses == 2
+    assert lane.fallbacks == {}
+
+
+def test_gquic_settles_fast(dissector):
+    """Legacy gQUIC public headers are valid without any fallback."""
+    payload = b"\x0d" + b"\x11" * 8 + b"Q043" + b"\x00" * 10
+    lane = BatchLane()
+    entry = lane.entry_for(payload)
+    assert entry == rich_entry(dissector, payload)
+    assert entry[E_VALID] and entry[E_VERSION] == int.from_bytes(b"Q043", "big")
+    assert lane.fast_parses == 1 and lane.fallbacks == {}
+
+
+def test_memo_counts_hits_and_misses():
+    lane = BatchLane()
+    payload = b"\x00" * 30
+    lane.entry_for(payload)
+    lane.entry_for(payload)
+    lane.entry_for(payload)
+    assert lane.cache_misses == 1
+    assert lane.cache_hits == 2
+
+
+def test_memo_two_generation_demotion():
+    lane = BatchLane(cache_size=4)
+    payloads = [bytes([i]) * 8 for i in range(10)]
+    for payload in payloads:
+        lane.entry_for(payload)
+    assert lane.cache_misses == 10
+    # survivors of the demotions still hit
+    lane.entry_for(payloads[-1])
+    assert lane.cache_hits == 1
+    assert len(lane._cache) <= 4
+
+
+def test_fast_plus_fallback_equals_misses(dissector):
+    """Every memo miss is settled by exactly one of the two parsers."""
+    rng = SeededRng(0xBA7C6, "lane-split")
+    lane = BatchLane()
+    for _ in range(200):
+        lane.entry_for(rng.randbytes(rng.randint(0, 200)))
+    for seed_payload in valid_datagrams():
+        lane.entry_for(seed_payload)
+    assert lane.fast_parses + sum(lane.fallbacks.values()) == lane.cache_misses
+    assert set(lane.fallbacks) <= set(FALLBACK_REASONS)
+
+
+def test_valid_initial_falls_back_for_frame_walk(dissector):
+    """A well-formed client Initial needs the rich dissector (frame
+    walk / decrypt live there) — and still lands on the same entry."""
+    payload = valid_datagrams()[0]
+    lane = BatchLane()
+    entry = lane.entry_for(payload)
+    assert entry[E_VALID]
+    assert lane.fallbacks.get("parse", 0) + lane.fallbacks.get("error", 0) >= 0
+    assert entry == rich_entry(dissector, payload)
+
+
+def test_fast_entry_none_means_fallback_only():
+    """fast_entry returning None is a routing decision, not a verdict:
+    the lane must still produce a definitive entry via the dissector."""
+    payload = b"\xc0\x00\x00\x00\x01\x15" + b"x" * 4  # bad CID length
+    assert fast_entry(payload) is None
+    lane = BatchLane()
+    entry = lane.entry_for(payload)
+    assert entry[E_VALID] is False
+    assert entry[E_REASON] in REASON_SLUGS
+
+
+def test_publish_lane_metrics_exports_families():
+    obs.enable()
+    try:
+        obs.REGISTRY.reset()
+        lane = BatchLane()
+        lane.entry_for(b"")
+        lane.entry_for(b"\xc0\x00\x00\x00\x01\x15" + b"x" * 4)
+        lane.publish_lane_metrics()
+        snapshot = obs.REGISTRY.snapshot()
+        fast = snapshot["repro_batchlane_fast_total"]
+        fallback = snapshot["repro_batchlane_fallback_total"]
+        assert fast[0] == "counter" and fast[4] == {(): 1}
+        assert fallback[2] == ("reason",)
+        assert fallback[4] == {("parse",): 1}
+    finally:
+        obs.REGISTRY.reset()
+        obs.set_enabled(False)

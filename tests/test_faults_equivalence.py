@@ -83,14 +83,6 @@ def run_stream(scenario, packets, batch_size=256):
     return analyzer.result()
 
 
-def strip_cache_telemetry(class_counts):
-    return {
-        k: v
-        for k, v in class_counts.items()
-        if not k.startswith("dissect-cache-")
-    }
-
-
 # -- no-op safety ------------------------------------------------------------
 
 
@@ -174,9 +166,7 @@ def test_serial_parallel_streaming_identical_under_faults(scenario, packets):
         assert serial.research_sources == other.research_sources, label
         # identical malformed tallies, reason by reason
         assert serial.malformed_counts == other.malformed_counts, label
-        assert strip_cache_telemetry(
-            serial.class_counts
-        ) == strip_cache_telemetry(other.class_counts), label
+        assert serial.class_counts == other.class_counts, label
         assert golden_report == build_report(
             other, research_weight=weight
         ), label
