@@ -1,4 +1,4 @@
-"""Streaming monitor: throughput and alert latency vs the batch path.
+"""Streaming monitor: throughput, alert latency, and peak memory.
 
 Engineering benchmark for :mod:`repro.stream` (not a paper figure).
 Measures exact-mode :class:`StreamAnalyzer` packets/second against the
@@ -6,17 +6,23 @@ serial batch pipeline on the same capture — the per-batch watermark
 sweep and per-packet detector hook are the streaming overhead, and the
 acceptance bound is that they cost at most half the batch rate — plus
 the median/maximum event-time alert latency (watermark at the emitting
-batch minus the threshold-crossing packet's timestamp).  Results are
-appended to the ``benchmarks/out/BENCH_stream.json`` trajectory.
+batch minus the threshold-crossing packet's timestamp).  Separate
+``tracemalloc``-traced runs record the peak allocation of each analyzer
+mode (exact / bounded / sketch) so the trajectory captures the memory
+story alongside the throughput one; the traced runs are never the
+timed runs.  Results are appended to the
+``benchmarks/out/BENCH_stream.json`` trajectory (schema 2; rows written
+by schema 1 are backfilled with nulls for the new columns).
 """
 
 import json
 import statistics
 import time
+import tracemalloc
 from pathlib import Path
 
 from repro.core import AnalysisConfig, QuicsandPipeline
-from repro.stream import StreamAnalyzer
+from repro.stream import StreamAnalyzer, StreamConfig
 from repro.telescope import Scenario, ScenarioConfig
 from repro.util.batching import batched
 from repro.util.timeutil import HOUR
@@ -24,6 +30,23 @@ from repro.util.timeutil import HOUR
 BATCH_SIZE = 512
 ROUNDS = 3
 TRAJECTORY = Path(__file__).parent / "out" / "BENCH_stream.json"
+TRAJECTORY_SCHEMA = 2
+#: every key a schema-2 row carries; older rows are backfilled with
+#: nulls so consumers can index columns without per-row key checks.
+TRAJECTORY_KEYS = (
+    "unix_time",
+    "packets",
+    "batch_size",
+    "batch_pps",
+    "stream_pps",
+    "stream_vs_batch",
+    "alerts",
+    "median_alert_latency_s",
+    "max_alert_latency_s",
+    "peak_mem_exact_kb",
+    "peak_mem_bounded_kb",
+    "peak_mem_sketch_kb",
+)
 
 
 def _correlation(scenario):
@@ -39,11 +62,27 @@ def _run_batch(scenario, packets):
     return pipeline.process(iter(packets))
 
 
-def _run_stream(scenario, packets):
-    analyzer = StreamAnalyzer(**_correlation(scenario), config=AnalysisConfig())
+def _run_stream(scenario, packets, stream_config=None):
+    analyzer = StreamAnalyzer(
+        **_correlation(scenario),
+        config=AnalysisConfig(),
+        stream_config=stream_config or StreamConfig(),
+    )
     for _event in analyzer.events(batched(iter(packets), BATCH_SIZE)):
         pass
     return analyzer
+
+
+def _peak_memory_kb(fn):
+    """Peak tracemalloc allocation of one run, in KiB.  Traced runs are
+    slow (every allocation is hooked) — never reuse them for timing."""
+    tracemalloc.start()
+    try:
+        fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return round(peak / 1024)
 
 
 def _append_trajectory(record):
@@ -55,7 +94,14 @@ def _append_trajectory(record):
         except (ValueError, AttributeError):
             runs = []
     runs.append(record)
-    TRAJECTORY.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
+    # normalize: every row carries the full schema-2 key set, extra
+    # keys from future revisions are preserved as-is
+    runs = [
+        {**{key: run.get(key) for key in TRAJECTORY_KEYS}, **run} for run in runs
+    ]
+    TRAJECTORY.write_text(
+        json.dumps({"schema": TRAJECTORY_SCHEMA, "runs": runs}, indent=2) + "\n"
+    )
 
 
 def _timed(fn, rounds=ROUNDS):
@@ -86,6 +132,15 @@ def test_stream_latency(emit):
     median_latency = statistics.median(latencies) if latencies else 0.0
     max_latency = max(latencies) if latencies else 0.0
 
+    peaks = {
+        mode: _peak_memory_kb(
+            lambda mode=mode: _run_stream(
+                scenario, packets, StreamConfig(mode=mode)
+            )
+        )
+        for mode in ("exact", "bounded", "sketch")
+    }
+
     _append_trajectory(
         {
             "unix_time": round(time.time()),
@@ -97,6 +152,9 @@ def test_stream_latency(emit):
             "alerts": len(latencies),
             "median_alert_latency_s": round(median_latency, 2),
             "max_alert_latency_s": round(max_latency, 2),
+            "peak_mem_exact_kb": peaks["exact"],
+            "peak_mem_bounded_kb": peaks["bounded"],
+            "peak_mem_sketch_kb": peaks["sketch"],
         }
     )
     emit(
@@ -108,7 +166,9 @@ def test_stream_latency(emit):
         f"flood alerts: {len(latencies)}  "
         f"median latency: {median_latency:.1f} s  max: {max_latency:.1f} s\n"
         f"(event-time latency: threshold crossing -> emitting batch "
-        f"watermark; shrink --batch-size to trade throughput for it)",
+        f"watermark; shrink --batch-size to trade throughput for it)\n"
+        f"peak allocation (tracemalloc): exact {peaks['exact']:,} KiB  "
+        f"bounded {peaks['bounded']:,} KiB  sketch {peaks['sketch']:,} KiB",
     )
 
     # the monitor must alert on this capture, and every alert must map
@@ -118,3 +178,4 @@ def test_stream_latency(emit):
     assert all(latency >= 0.0 for latency in latencies)
     # acceptance bound: streaming >= 0.5x batch serial throughput
     assert ratio >= 0.5, f"streaming overhead too high: {ratio:.2f}x batch"
+    assert all(peak > 0 for peak in peaks.values())

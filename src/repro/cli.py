@@ -129,12 +129,21 @@ def _build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--batch-size", type=int, default=512, help="packets per analysis batch"
     )
-    watch.add_argument(
+    watch_mode = watch.add_mutually_exclusive_group()
+    watch_mode.add_argument(
         "--exact",
         action="store_true",
         help="retain full state and print the batch-identical report at "
         "EOF (memory grows with the capture; default is the bounded, "
         "active-source-proportional mode)",
+    )
+    watch_mode.add_argument(
+        "--sketch",
+        action="store_true",
+        help="constant-memory sketch tier: count-min source tallies, "
+        "space-saving heavy-hitter flood detection and HyperLogLog "
+        "cardinalities instead of exact per-source state (memory is "
+        "independent of source count; see docs/ARCHITECTURE.md)",
     )
     watch.add_argument(
         "--status-every",
@@ -398,12 +407,18 @@ def cmd_watch(args, stream) -> int:
 
     _maybe_enable_metrics(args)
     scenario = _scenario(args)
+    if args.exact:
+        mode = "exact"
+    elif args.sketch:
+        mode = "sketch"
+    else:
+        mode = "bounded"
     analyzer = StreamAnalyzer(
         registry=scenario.internet.registry,
         census=scenario.internet.census,
         greynoise=scenario.internet.greynoise,
         config=AnalysisConfig(fast_lane=args.fast_lane),
-        stream_config=StreamConfig(bounded=not args.exact),
+        stream_config=StreamConfig(mode=mode),
     )
     injector = _fault_injector(args, stream)
     if injector == 2:
@@ -424,7 +439,6 @@ def cmd_watch(args, stream) -> int:
         source = f"live simulator feed ({args.hours:.1f} h planned)"
     if injector is not None:
         feed = injector.wrap_batches(feed, batch_size=args.batch_size)
-    mode = "exact" if args.exact else "bounded"
     print(f"watching {source} [{mode} mode]", file=stream)
     next_status: Optional[float] = None
     try:

@@ -19,18 +19,36 @@ the same way the parallel runner pins serial ≡ parallel.
 :mod:`repro.stream.feeds` (live simulator, tail-followed pcap).
 """
 
-from repro.stream.analyzer import StreamAnalyzer, StreamConfig, StreamTelemetry
+from repro.stream.analyzer import (
+    STREAM_MODES,
+    StreamAnalyzer,
+    StreamConfig,
+    StreamResultUnavailable,
+    StreamTelemetry,
+)
 from repro.stream.correlate import LiveFlood, OnlineCorrelator
 from repro.stream.events import AttackEnded, FloodAlert
 from repro.stream.feeds import follow_pcap, simulator_feed
+from repro.stream.sketch import (
+    CountMinSketch,
+    HyperLogLog,
+    SketchTier,
+    SpaceSaving,
+)
 
 __all__ = [
     "AttackEnded",
+    "CountMinSketch",
     "FloodAlert",
+    "HyperLogLog",
     "LiveFlood",
     "OnlineCorrelator",
+    "STREAM_MODES",
+    "SketchTier",
+    "SpaceSaving",
     "StreamAnalyzer",
     "StreamConfig",
+    "StreamResultUnavailable",
     "StreamTelemetry",
     "follow_pcap",
     "simulator_feed",

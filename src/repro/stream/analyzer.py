@@ -21,18 +21,30 @@ additions:
    :class:`~repro.stream.events.AttackEnded` follows when the session
    expires — with an online multi-vector category from the sliding
    common-flood window.
-3. **Bounded memory** (``StreamConfig(bounded=True)``) — closed
+3. **Bounded memory** (``StreamConfig(mode="bounded")``) — closed
    sessions are folded into running summaries and evicted, the
    per-packet timeout sweep is disabled, and per-source tallies are
    pruned on every hour rollover down to *open* sources plus
    research-threshold heavy hitters.  Memory is then proportional to
    active sources (plus the alert history and the rolling hour window),
    not capture size; telemetry reports the live/evicted counts.
+4. **Sketch mode** (``StreamConfig(mode="sketch")``) — no sessions and
+   no per-source dicts at all: per-packet updates land in the
+   fixed-size structures of :mod:`repro.stream.sketch` (count-min
+   source tallies, space-saving heavy-hitter victims carrying flood
+   episodes, HyperLogLog cardinalities), and alerts fire when the
+   space-saving *lower bound* crosses the Moore thresholds.  Memory is
+   constant in source cardinality;
+   ``benchmarks/bench_sketch_accuracy.py`` measures alert
+   precision/recall against the exact mode and enforces the ceiling.
 
 Exact mode (the default) retains the full state: after ``finish()``,
 ``result()`` runs the batch finalization and returns a
 ``PipelineResult`` identical to ``QuicsandPipeline.process`` over the
-same capture — asserted in ``tests/test_stream_equivalence.py``.
+same capture — asserted in ``tests/test_stream_equivalence.py``.  The
+other modes surrender ``result()`` (it raises the structured
+:class:`StreamResultUnavailable` naming the alternatives) in exchange
+for their memory ceilings.
 """
 
 from __future__ import annotations
@@ -48,8 +60,12 @@ from repro.core.pipeline import AnalysisConfig, PartialState, PipelineResult, Qu
 from repro.core.sessions import Session
 from repro.stream.correlate import LiveFlood, OnlineCorrelator
 from repro.stream.events import AttackEnded, FloodAlert, format_event_time
+from repro.stream.sketch.tier import SketchTier
 from repro.util.render import format_table
 from repro.util.timeutil import HOUR
+
+#: the monitor's state-retention modes, least to most compressed.
+STREAM_MODES = ("exact", "bounded", "sketch")
 
 _BACKSCATTER_CLASSES = (
     PacketClass.QUIC_RESPONSE,
@@ -113,6 +129,26 @@ _M_TRACKED_SOURCES = obs.gauge(
 )
 
 
+class StreamResultUnavailable(RuntimeError):
+    """``result()`` needs the full exact state, which this mode traded
+    away for its memory ceiling.
+
+    Raised with the mode and the surfaces that *are* available, so the
+    message tells the caller where to go instead of dead-ending on a
+    bare string.  Subclasses ``RuntimeError`` so pre-existing handlers
+    keep working.
+    """
+
+    def __init__(self, mode: str, alternatives: tuple) -> None:
+        self.mode = mode
+        self.alternatives = tuple(alternatives)
+        super().__init__(
+            f"no batch result available in {mode} mode: session state was "
+            "evicted as it closed; use " + " / ".join(self.alternatives)
+            + " instead, or rerun with StreamConfig(mode=\"exact\")"
+        )
+
+
 @dataclass
 class StreamConfig:
     """Knobs of the online monitor."""
@@ -122,12 +158,37 @@ class StreamConfig:
     allowed_lateness: float = 0.0
     #: evict closed sessions / idle sources and disable the per-packet
     #: timeout sweep, bounding memory by *active* sources.  Disables
-    #: the batch-identical ``result()``.
+    #: the batch-identical ``result()``.  Kept as the boolean spelling
+    #: of ``mode="bounded"`` for backward compatibility; ``mode`` wins
+    #: when both are given.
     bounded: bool = False
     #: sliding window for online multi-vector correlation.
     correlation_horizon: float = 24 * HOUR
-    #: hour buckets kept in the rolling hourly series (bounded mode).
+    #: hour buckets kept in the rolling hourly series (bounded/sketch).
     retain_hours: int = 48
+    #: state retention: "exact" (full state, batch-identical result),
+    #: "bounded" (evict closed sessions, prune idle sources) or
+    #: "sketch" (constant memory — repro.stream.sketch structures).
+    #: ``None`` derives exact/bounded from the legacy ``bounded`` flag.
+    mode: Optional[str] = None
+    #: count-min geometry for sketch mode (cells per hash row / rows).
+    sketch_width: int = 2048
+    sketch_depth: int = 4
+    #: space-saving heavy-hitter capacity per backscatter vector.
+    sketch_capacity: int = 512
+    #: HyperLogLog precision (2**p one-byte registers).
+    sketch_precision: int = 12
+    #: hash-family seed for every sketch structure.
+    sketch_seed: int = 20210401
+
+    def __post_init__(self) -> None:
+        if self.mode is None:
+            self.mode = "bounded" if self.bounded else "exact"
+        if self.mode not in STREAM_MODES:
+            raise ValueError(
+                f"unknown stream mode {self.mode!r}; pick one of {STREAM_MODES}"
+            )
+        self.bounded = self.mode == "bounded"
 
 
 @dataclass
@@ -156,10 +217,17 @@ class StreamTelemetry:
     peak_live_sources: int = 0
     active_floods: int = 0
     #: size of the per-source tally maps — the bounded-memory proxy.
+    #: In sketch mode: monitored heavy-hitter entries (the tally that
+    #: replaces the maps).
     tracked_sources: int = 0
     #: corrupt pcap records skipped by a lenient feed (see
     #: ``follow_pcap(lenient=True)``); fed via record_corrupt_records.
     corrupt_records: int = 0
+    #: sketch mode: actual bytes in the sketch tally structures.
+    sketch_memory_bytes: int = 0
+    #: sketch mode: HLL estimates of distinct QUIC sources / victims.
+    distinct_sources_est: int = 0
+    distinct_victims_est: int = 0
 
     @property
     def watermark_lag(self) -> float:
@@ -225,10 +293,27 @@ class StreamAnalyzer:
         self._category_counts: dict = {}
         self._pruned_requests = 0
         self._pruned_responses = 0
-        for cls in _BACKSCATTER_CLASSES:
-            self.state.sessionizers[cls].on_update = self._on_backscatter_update
-        if self.stream_config.bounded:
+        self.sketch: Optional[SketchTier] = None
+        if self.stream_config.mode == "sketch":
+            self.sketch = SketchTier(
+                width=self.stream_config.sketch_width,
+                depth=self.stream_config.sketch_depth,
+                capacity=self.stream_config.sketch_capacity,
+                precision=self.stream_config.sketch_precision,
+                seed=self.stream_config.sketch_seed,
+                thresholds=self.config.thresholds,
+                timeout=self.config.session_timeout,
+                on_alert=self._on_sketch_alert,
+                on_ended=self._on_sketch_ended,
+            )
             self.state.sweep = _NullSweep()
+        else:
+            for cls in _BACKSCATTER_CLASSES:
+                self.state.sessionizers[cls].on_update = (
+                    self._on_backscatter_update
+                )
+            if self.stream_config.bounded:
+                self.state.sweep = _NullSweep()
 
     # -- streaming loop ---------------------------------------------------
 
@@ -239,7 +324,15 @@ class StreamAnalyzer:
         if not batch:
             return []
         with obs.span(_M_BATCH):
-            if self.config.fast_lane:
+            if self.sketch is not None:
+                if self.state.window_start is None:
+                    self.state.window_start = batch[0].timestamp
+                self.state.window_end = batch[-1].timestamp
+                if self.config.fast_lane:
+                    self.sketch.consume_lane(batch, self.classifier)
+                else:
+                    self.sketch.consume(batch, self.classifier)
+            elif self.config.fast_lane:
                 self.state.consume_lane(batch, self.classifier)
             else:
                 self.state.consume(batch, self.classifier)
@@ -252,8 +345,11 @@ class StreamAnalyzer:
             watermark = telemetry.newest_ts - self.stream_config.allowed_lateness
             if watermark > telemetry.watermark:
                 telemetry.watermark = watermark
-            for sessionizer in self.state.sessionizers.values():
-                sessionizer.expire(telemetry.watermark)
+            if self.sketch is not None:
+                self.sketch.sweep(telemetry.watermark)
+            else:
+                for sessionizer in self.state.sessionizers.values():
+                    sessionizer.expire(telemetry.watermark)
             events = self._drain(telemetry.watermark)
             self._hour_rollover(telemetry.watermark)
             self._update_gauges()
@@ -273,8 +369,11 @@ class StreamAnalyzer:
         if self._finished:
             return []
         self._finished = True
-        self.state.record_classifier(self.classifier)
-        self.state.close()
+        if self.sketch is not None:
+            self.sketch.flush()
+        else:
+            self.state.record_classifier(self.classifier)
+            self.state.close()
         events = self._drain(self.telemetry.watermark)
         self._update_gauges()
         return events
@@ -294,9 +393,26 @@ class StreamAnalyzer:
         """The batch-identical analysis result (exact mode only)."""
         if not self._finished:
             raise RuntimeError("call finish() before result()")
-        if self.stream_config.bounded:
-            raise RuntimeError(
-                "bounded mode evicts session state; no batch result available"
+        mode = self.stream_config.mode
+        if mode == "bounded":
+            raise StreamResultUnavailable(
+                mode,
+                (
+                    "stream_report()",
+                    "the StreamTelemetry snapshot (analyzer.telemetry)",
+                    "hourly_counters()",
+                ),
+            )
+        if mode == "sketch":
+            raise StreamResultUnavailable(
+                mode,
+                (
+                    "stream_report()",
+                    "the StreamTelemetry snapshot (analyzer.telemetry)",
+                    "the sketch estimates (analyzer.sketch: count-min "
+                    "packet/byte counts, space-saving heavy hitters, "
+                    "HyperLogLog cardinalities)",
+                ),
             )
         return self.pipeline.finalize_state(self.state)
 
@@ -367,6 +483,79 @@ class StreamAnalyzer:
             )
         )
 
+    def _on_sketch_alert(
+        self,
+        vector: str,
+        victim: int,
+        start: float,
+        crossed_at: float,
+        packet_count: int,
+        max_pps: float,
+    ):
+        """Sketch-tier twin of :meth:`_on_backscatter_update`: the tier
+        proved (via the space-saving lower bound) that a monitored
+        victim crossed the Moore thresholds."""
+        alert = FloodAlert(
+            victim_ip=victim,
+            vector=vector,
+            start=start,
+            crossed_at=crossed_at,
+            packet_count=packet_count,
+            max_pps=max_pps,
+        )
+        self._pending.append(alert)
+        self.alerts.append(alert)
+        self.telemetry.alerts += 1
+        _M_ALERTS.inc(vector=vector)
+        flood = LiveFlood(
+            victim_ip=victim, vector=vector, start=start, end=crossed_at
+        )
+        self._active[(vector, victim, start)] = flood
+        if vector != "quic":
+            self.correlator.register_common(flood)
+        return flood  # the tier keeps flood.end fresh per packet
+
+    def _on_sketch_ended(
+        self,
+        vector: str,
+        victim: int,
+        start: float,
+        end: float,
+        packet_count: int,
+        max_pps: float,
+    ) -> None:
+        flood = self._active.pop((vector, victim, start), None)
+        if flood is not None:
+            flood.end = end
+        category = None
+        partners: tuple = ()
+        gap = None
+        if vector == "quic":
+            category, partners, gap = self.correlator.classify(
+                victim, start, end
+            )
+            self._category_counts[category] = (
+                self._category_counts.get(category, 0) + 1
+            )
+        self._floods_by_vector[vector] = (
+            self._floods_by_vector.get(vector, 0) + 1
+        )
+        self.telemetry.attacks_ended += 1
+        _M_ENDED.inc(vector=vector)
+        self._pending.append(
+            AttackEnded(
+                victim_ip=victim,
+                vector=vector,
+                start=start,
+                end=end,
+                packet_count=packet_count,
+                max_pps=max_pps,
+                category=category,
+                partner_vectors=partners,
+                nearest_gap=gap,
+            )
+        )
+
     # -- draining and eviction --------------------------------------------
 
     def _drain(self, watermark: float) -> list:
@@ -402,7 +591,16 @@ class StreamAnalyzer:
         if first:
             return
         self.correlator.prune(watermark)
-        if self.stream_config.bounded:
+        if self.sketch is not None:
+            requests, responses, buckets = self.sketch.prune_hours(
+                hour, self.stream_config.retain_hours
+            )
+            self._pruned_requests += requests
+            self._pruned_responses += responses
+            if buckets:
+                self.telemetry.pruned_hours += buckets
+                _M_PRUNED_HOURS.inc(buckets)
+        elif self.stream_config.bounded:
             self._evict_idle(hour)
 
     def _evict_idle(self, hour: int) -> None:
@@ -449,6 +647,24 @@ class StreamAnalyzer:
 
     def _update_gauges(self) -> None:
         telemetry = self.telemetry
+        if self.sketch is not None:
+            sketch = self.sketch
+            telemetry.open_sessions = 0
+            telemetry.live_sources = sketch.episode_count()
+            if telemetry.live_sources > telemetry.peak_live_sources:
+                telemetry.peak_live_sources = telemetry.live_sources
+            telemetry.active_floods = len(self._active)
+            telemetry.tracked_sources = sketch.heavy_entries()
+            telemetry.sketch_memory_bytes = sketch.memory_bytes()
+            telemetry.distinct_sources_est = int(sketch.sources.estimate())
+            telemetry.distinct_victims_est = int(sketch.victims.estimate())
+            if obs.enabled():
+                _M_OPEN_SESSIONS.set(0)
+                _M_LIVE_SOURCES.set(telemetry.live_sources)
+                _M_ACTIVE_FLOODS.set(telemetry.active_floods)
+                _M_TRACKED_SOURCES.set(telemetry.tracked_sources)
+                sketch.publish_metrics()
+            return
         sessionizers = self.state.sessionizers.values()
         telemetry.open_sessions = sum(s.open_count for s in sessionizers)
         live: set = set()
@@ -467,16 +683,21 @@ class StreamAnalyzer:
 
     # -- reporting ---------------------------------------------------------
 
+    def _hourly_series(self):
+        """The (requests, responses) hour dicts of the active mode."""
+        if self.sketch is not None:
+            return self.sketch.hourly_requests, self.sketch.hourly_responses
+        return self.state.hourly_requests, self.state.hourly_responses
+
     def hourly_counters(self) -> dict:
         """Rolling hourly requests/responses (current window), newest
         hours last."""
-        hours = sorted(
-            set(self.state.hourly_requests) | set(self.state.hourly_responses)
-        )
+        hourly_requests, hourly_responses = self._hourly_series()
+        hours = sorted(set(hourly_requests) | set(hourly_responses))
         return {
             hour: (
-                self.state.hourly_requests.get(hour, 0),
-                self.state.hourly_responses.get(hour, 0),
+                hourly_requests.get(hour, 0),
+                hourly_responses.get(hour, 0),
             )
             for hour in hours
         }
@@ -490,18 +711,33 @@ class StreamAnalyzer:
             else "-"
         )
         hour_key = int(telemetry.watermark // HOUR) if telemetry.watermark != float("-inf") else 0
-        requests = self.state.hourly_requests.get(hour_key, 0)
-        responses = self.state.hourly_responses.get(hour_key, 0)
-        return (
+        hourly_requests, hourly_responses = self._hourly_series()
+        requests = hourly_requests.get(hour_key, 0)
+        responses = hourly_responses.get(hour_key, 0)
+        line = (
             f"[status] watermark={watermark} packets={telemetry.packets:,} "
             f"live_sources={telemetry.live_sources} "
             f"open_sessions={telemetry.open_sessions} "
             f"active_floods={telemetry.active_floods} "
             f"alerts={telemetry.alerts} "
             f"evicted={telemetry.evicted_sessions:,} "
+            f"pruned_sources={telemetry.pruned_sources:,} "
+            f"pruned_hours={telemetry.pruned_hours:,} "
             f"hour_req/resp={requests}/{responses} "
             f"lag={telemetry.watermark_lag:.1f}s"
         )
+        if self.sketch is not None:
+            config = self.stream_config
+            exact_kib = self.sketch.exact_memory_estimate() / 1024
+            line += (
+                f" sketch[cms={config.sketch_width}x{config.sketch_depth}"
+                f" topk={config.sketch_capacity}"
+                f" hll=2^{config.sketch_precision}]"
+                f" mem={telemetry.sketch_memory_bytes / 1024:.0f}KiB"
+                f" (exact~{exact_kib:.0f}KiB)"
+                f" distinct~{telemetry.distinct_sources_est:,}"
+            )
+        return line
 
     def stream_report(self) -> str:
         """Final summary of an (optionally bounded) monitoring run."""
@@ -514,8 +750,9 @@ class StreamAnalyzer:
                 f"{format_event_time(state.window_start)} — "
                 f"{format_event_time(state.window_end)} ({hours:.1f} h)"
             )
-        requests = sum(state.hourly_requests.values()) + self._pruned_requests
-        responses = sum(state.hourly_responses.values()) + self._pruned_responses
+        hourly_requests, hourly_responses = self._hourly_series()
+        requests = sum(hourly_requests.values()) + self._pruned_requests
+        responses = sum(hourly_responses.values()) + self._pruned_responses
         rows = [
             ["window", window or "-"],
             ["packets processed", f"{telemetry.packets:,}"],
@@ -542,12 +779,34 @@ class StreamAnalyzer:
             ["sessions evicted", f"{telemetry.evicted_sessions:,}"],
             ["sources pruned", f"{telemetry.pruned_sources:,}"],
         ]
+        if self.sketch is not None:
+            sketch = self.sketch
+            rows += [
+                [
+                    "distinct sources (HLL est.)",
+                    f"~{telemetry.distinct_sources_est:,}",
+                ],
+                [
+                    "distinct victims (HLL est.)",
+                    f"~{telemetry.distinct_victims_est:,}",
+                ],
+                [
+                    "sketch memory",
+                    f"{telemetry.sketch_memory_bytes / 1024:.0f} KiB "
+                    f"(exact would need ~"
+                    f"{sketch.exact_memory_estimate() / 1024:.0f} KiB)",
+                ],
+                [
+                    "heavy-hitter evictions",
+                    str(sum(s.evictions for s in sketch.heavy.values())),
+                ],
+            ]
         if telemetry.corrupt_records:
             rows.append(
                 ["corrupt pcap records", f"{telemetry.corrupt_records:,}"]
             )
         rows.append(["correlation window", str(self.correlator.window_size)])
-        mode = "bounded" if self.stream_config.bounded else "exact"
+        mode = self.stream_config.mode
         return format_table(
             ["metric", "value"], rows, title=f"Streaming monitor summary ({mode} mode)"
         )

@@ -1,0 +1,136 @@
+"""Seeded count-min sketch with conservative update.
+
+The tally behind the sketch tier's per-source packet/byte counts:
+``depth`` rows of ``width`` 64-bit cells, each row hashing through an
+independently salted :func:`~repro.stream.sketch.hashing.mix64`.
+Estimates never undercount (``estimate(key) >= true count``, always)
+and overcount by at most ``epsilon * total`` per row with failure
+probability ``delta`` — the classic Cormode–Muthukrishnan bounds with
+``epsilon = e / width`` and ``delta = e ** -depth``.  Conservative
+update (only raise the cells that *must* rise to keep the minimum
+consistent) tightens the overcount substantially in practice without
+weakening either guarantee.
+
+Memory is ``depth * width * 8`` bytes regardless of how many distinct
+keys pass through — the whole point of the sketch tier.
+
+Sketches with the same geometry **and the same seed** merge by
+element-wise addition, which is associative, commutative, and
+preserves the overestimate-only property (each addend already
+dominates its shard's true counts); :meth:`merge` refuses mismatched
+partners loudly.  Plain attributes keep instances picklable for the
+sharded pipeline and obs snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from array import array
+
+from repro.stream.sketch.hashing import mix64
+from repro.util.rng import derive_seed
+
+
+class CountMinSketch:
+    """Conservative-update count-min sketch over integer keys."""
+
+    __slots__ = ("width", "depth", "seed", "total", "updates", "_salts", "_rows")
+
+    def __init__(self, width: int = 2048, depth: int = 4, seed: int = 0) -> None:
+        if width < 1:
+            raise ValueError("count-min width must be >= 1")
+        if depth < 1:
+            raise ValueError("count-min depth must be >= 1")
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        #: sum of all update increments (the N of the epsilon*N bound).
+        self.total = 0
+        #: number of update() calls (telemetry, not part of the bound).
+        self.updates = 0
+        self._salts = tuple(
+            derive_seed(seed, f"cms-row-{row}") for row in range(depth)
+        )
+        self._rows = [array("Q", bytes(8 * width)) for _ in range(depth)]
+
+    # -- updates -----------------------------------------------------------
+
+    def update(self, key: int, count: int = 1) -> int:
+        """Add ``count`` to ``key``; returns the new estimate."""
+        if count < 1:
+            raise ValueError("count-min increments must be positive")
+        width = self.width
+        cells = [
+            (row, mix64(key ^ salt) % width)
+            for row, salt in zip(self._rows, self._salts)
+        ]
+        estimate = min(row[index] for row, index in cells)
+        raised = estimate + count
+        for row, index in cells:
+            if row[index] < raised:
+                row[index] = raised
+        self.total += count
+        self.updates += 1
+        return raised
+
+    def estimate(self, key: int) -> int:
+        """The (over-)estimate of ``key``'s total count."""
+        width = self.width
+        return min(
+            row[mix64(key ^ salt) % width]
+            for row, salt in zip(self._rows, self._salts)
+        )
+
+    # -- bounds and sizing -------------------------------------------------
+
+    @property
+    def epsilon(self) -> float:
+        """Per-key overcount bound factor: error <= epsilon * total."""
+        return math.e / self.width
+
+    @property
+    def delta(self) -> float:
+        """Probability the epsilon bound fails for a given key."""
+        return math.exp(-self.depth)
+
+    def memory_bytes(self) -> int:
+        """Actual bytes held by the tally rows — constant in key count."""
+        return sum(sys.getsizeof(row) for row in self._rows)
+
+    # -- composition -------------------------------------------------------
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Element-wise add ``other`` into self (same geometry + seed)."""
+        if (self.width, self.depth, self.seed) != (
+            other.width,
+            other.depth,
+            other.seed,
+        ):
+            raise ValueError(
+                "count-min merge needs identical width/depth/seed: "
+                f"{(self.width, self.depth, self.seed)} vs "
+                f"{(other.width, other.depth, other.seed)}"
+            )
+        for mine, theirs in zip(self._rows, other._rows):
+            for index, value in enumerate(theirs):
+                if value:
+                    mine[index] += value
+        self.total += other.total
+        self.updates += other.updates
+
+    # -- pickling (arrays carry their typecode, but keep the protocol
+    # explicit so __slots__ classes round-trip on every pickle level) ------
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CountMinSketch(width={self.width}, depth={self.depth}, "
+            f"total={self.total})"
+        )

@@ -1,0 +1,26 @@
+"""Seeded 64-bit mixing for the sketch tier.
+
+All sketch structures hash integer keys (sources and victims are
+integer IPv4 addresses throughout the codebase) through the same
+finalizer: splitmix64's output mix.  It is seeded by XORing a salt into
+the key *before* mixing, so every structure draws an independent hash
+family from one parent seed via :func:`repro.util.rng.derive_seed` —
+deterministic across processes and interpreter runs, unlike ``hash()``
+which `PYTHONHASHSEED` perturbs for str/bytes keys.
+
+The mix is bijective on 64-bit integers, so two distinct keys collide
+under a given salt only by landing in the same sketch cell, never in
+the hash itself.
+"""
+
+from __future__ import annotations
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def mix64(value: int) -> int:
+    """splitmix64's finalization mix of ``value`` (mod 2**64)."""
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)

@@ -19,6 +19,7 @@ INSTRUMENTED_MODULES = (
     "repro.core.parallel",
     "repro.stream.analyzer",
     "repro.stream.feeds",
+    "repro.stream.sketch.tier",
     "repro.telescope.telescope",
     "repro.telescope.backscatter",
     "repro.telescope.scanners",

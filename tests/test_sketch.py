@@ -1,0 +1,471 @@
+"""Property tests for the sketch structures (repro.stream.sketch).
+
+Seeded workloads assert the published error bounds, not just behavior:
+count-min never undercounts and respects the epsilon*N bound at the
+documented failure probability, space-saving recalls every guaranteed
+heavy hitter and its lower bound never exceeds truth, HyperLogLog
+lands within 3 sigma of the 1.04/sqrt(m) standard error, and all
+three merge deterministically (associative/commutative) across the
+source-sharded splits the parallel pipeline produces.
+"""
+
+import math
+import pickle
+
+import pytest
+
+from repro.stream.sketch import (
+    CountMinSketch,
+    HyperLogLog,
+    SketchTier,
+    SpaceSaving,
+    mix64,
+)
+from repro.util.rng import SeededRng
+
+
+def zipf_workload(seed, keys=2000, updates=30_000):
+    """A seeded heavy-tailed stream of (key, count) hits — the regime
+    sketches are built for: few heavy keys, a long light tail."""
+    rng = SeededRng(seed, "sketch-workload")
+    truth: dict = {}
+    hits = []
+    for _ in range(updates):
+        # pareto-ish rank draw: low ranks (heavy keys) dominate
+        rank = int(rng.random() ** 3 * keys)
+        key = mix64(rank) & 0xFFFFFFFF  # spread keys over the hash space
+        hits.append(key)
+        truth[key] = truth.get(key, 0) + 1
+    return hits, truth
+
+
+def shard(items, workers):
+    """The parallel pipeline's split rule: hash the key, mod workers —
+    shards see disjoint key sets."""
+    shards = [[] for _ in range(workers)]
+    for key in items:
+        shards[mix64(key) % workers].append(key)
+    return shards
+
+
+# -- hashing ---------------------------------------------------------------
+
+
+def test_mix64_is_deterministic_and_spreads():
+    assert mix64(0) == mix64(0)
+    values = {mix64(key) for key in range(10_000)}
+    assert len(values) == 10_000  # bijective mix: no collisions on ints
+    assert all(0 <= value < 2**64 for value in values)
+
+
+# -- count-min -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [3, 11, 42])
+def test_countmin_never_undercounts(seed):
+    hits, truth = zipf_workload(seed)
+    sketch = CountMinSketch(width=1024, depth=4, seed=seed)
+    for key in hits:
+        sketch.update(key)
+    assert sketch.total == len(hits)
+    for key, count in truth.items():
+        assert sketch.estimate(key) >= count
+
+
+@pytest.mark.parametrize("seed", [3, 11, 42])
+def test_countmin_error_bound_holds(seed):
+    """error <= epsilon * N per key, failing with probability <= delta;
+    allow 2x the expected failure count for finite-sample noise."""
+    hits, truth = zipf_workload(seed)
+    sketch = CountMinSketch(width=1024, depth=4, seed=seed)
+    for key in hits:
+        sketch.update(key)
+    budget = sketch.epsilon * sketch.total
+    violations = sum(
+        1
+        for key, count in truth.items()
+        if sketch.estimate(key) - count > budget
+    )
+    allowed = max(1, int(2 * sketch.delta * len(truth)))
+    assert violations <= allowed, (
+        f"{violations} of {len(truth)} keys exceeded eps*N={budget:.0f} "
+        f"(allowed {allowed})"
+    )
+
+
+def test_countmin_conservative_update_tightens():
+    """Conservative update dominates the plain add-to-every-row scheme:
+    per-key estimates are never larger and strictly smaller in aggregate
+    on a contended (undersized) sketch."""
+    hits, truth = zipf_workload(7)
+    conservative = CountMinSketch(width=256, depth=4, seed=7)
+    plain = CountMinSketch(width=256, depth=4, seed=7)
+    for key in hits:
+        conservative.update(key)
+        # plain count-min: bump every row unconditionally
+        for row, salt in enumerate(plain._salts):
+            plain._rows[row][mix64(key ^ salt) % plain.width] += 1
+    conservative_error = plain_error = 0
+    for key, count in truth.items():
+        cons = conservative.estimate(key)
+        assert count <= cons <= plain.estimate(key)
+        conservative_error += cons - count
+        plain_error += plain.estimate(key) - count
+    assert conservative_error < plain_error
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3, 4])
+def test_countmin_merge_deterministic_across_shards(workers):
+    hits, truth = zipf_workload(19)
+    shards = shard(hits, workers)
+    sketches = []
+    for part in shards:
+        sketch = CountMinSketch(width=512, depth=4, seed=19)
+        for key in part:
+            sketch.update(key)
+        sketches.append(sketch)
+
+    def merged(order):
+        base = CountMinSketch(width=512, depth=4, seed=19)
+        for index in order:
+            base.merge(sketches[index])
+        return base
+
+    forward = merged(range(workers))
+    backward = merged(reversed(range(workers)))
+    # commutative: any merge order gives identical rows
+    assert forward._rows == backward._rows
+    assert forward.total == backward.total == len(hits)
+    # overestimate-only survives the merge
+    for key, count in truth.items():
+        assert forward.estimate(key) >= count
+
+
+def test_countmin_merge_rejects_mismatched():
+    with pytest.raises(ValueError):
+        CountMinSketch(64, 4, seed=1).merge(CountMinSketch(64, 4, seed=2))
+    with pytest.raises(ValueError):
+        CountMinSketch(64, 4, seed=1).merge(CountMinSketch(128, 4, seed=1))
+
+
+def test_countmin_validates_arguments():
+    with pytest.raises(ValueError):
+        CountMinSketch(width=0)
+    with pytest.raises(ValueError):
+        CountMinSketch(depth=0)
+    with pytest.raises(ValueError):
+        CountMinSketch().update(1, 0)
+
+
+def test_countmin_memory_constant_in_keys():
+    small = CountMinSketch(width=512, depth=4, seed=5)
+    large = CountMinSketch(width=512, depth=4, seed=5)
+    for key in range(10):
+        small.update(key)
+    for key in range(20_000):
+        large.update(key)
+    assert small.memory_bytes() == large.memory_bytes()
+
+
+def test_countmin_pickle_roundtrip():
+    sketch = CountMinSketch(width=128, depth=3, seed=9)
+    for key in range(500):
+        sketch.update(key, key + 1)
+    clone = pickle.loads(pickle.dumps(sketch))
+    assert all(clone.estimate(k) == sketch.estimate(k) for k in range(500))
+    assert clone.total == sketch.total
+
+
+# -- space-saving ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [3, 11, 42])
+def test_spacesaving_guaranteed_heavy_hitter_recall(seed):
+    """Every key with true count > N/k must be monitored — the
+    Metwally guarantee the flood detector leans on."""
+    hits, truth = zipf_workload(seed)
+    summary = SpaceSaving(capacity=128)
+    for key in hits:
+        summary.update(key)
+    threshold = summary.total / summary.capacity
+    for key, count in truth.items():
+        if count > threshold:
+            assert key in summary, (
+                f"heavy hitter {key} ({count} > N/k={threshold:.0f}) lost"
+            )
+
+
+@pytest.mark.parametrize("seed", [3, 11, 42])
+def test_spacesaving_bounds_bracket_truth(seed):
+    hits, truth = zipf_workload(seed)
+    summary = SpaceSaving(capacity=128)
+    for key in hits:
+        summary.update(key)
+    assert summary.min_count <= summary.total / summary.capacity
+    for key, count, error in summary.items():
+        true = truth[key]
+        assert count - error <= true <= count
+
+
+def test_spacesaving_guaranteed_uses_lower_bound():
+    summary = SpaceSaving(capacity=2)
+    for _ in range(10):
+        summary.update(1)
+    for key in (2, 3, 4):  # churn the second slot: inherited error grows
+        summary.update(key)
+    assert 1 in summary.guaranteed(5)
+    # the churned key's count includes inherited error — not guaranteed
+    assert summary.guaranteed(2) == [1]
+
+
+def test_spacesaving_eviction_is_deterministic():
+    """Count ties break on the smaller key, so replays are identical."""
+    runs = []
+    for _ in range(2):
+        summary = SpaceSaving(capacity=4)
+        for key in (10, 20, 30, 40):
+            summary.update(key)
+        summary.update(99)  # all four tied at 1: key 10 must go
+        runs.append((sorted(summary.items()), summary.evictions))
+    assert runs[0] == runs[1]
+    assert 10 not in dict((k, c) for k, c, _ in runs[0][0])
+    assert 99 in dict((k, c) for k, c, _ in runs[0][0])
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3, 4])
+def test_spacesaving_merge_deterministic_across_shards(workers):
+    hits, truth = zipf_workload(23)
+    shards = shard(hits, workers)
+    summaries = []
+    for part in shards:
+        summary = SpaceSaving(capacity=256)
+        for key in part:
+            summary.update(key)
+        summaries.append(summary)
+
+    def merged(order):
+        base = SpaceSaving(capacity=256)
+        for index in order:
+            base.merge(summaries[index])
+        return base
+
+    forward = merged(range(workers))
+    backward = merged(reversed(range(workers)))
+    assert sorted(forward.items()) == sorted(backward.items())
+    assert forward.total == backward.total == len(hits)
+    # bounds survive the merge for every surviving key
+    for key, count, error in forward.items():
+        if key in truth:
+            assert count - error <= truth[key] <= count
+
+
+def test_spacesaving_merge_associative_within_capacity():
+    """With disjoint shard keys and enough capacity the merge is an
+    exact union, so grouping cannot matter."""
+    hits, _ = zipf_workload(29, keys=300, updates=5_000)
+    parts = shard(hits, 3)
+    built = []
+    for part in parts:
+        summary = SpaceSaving(capacity=2048)
+        for key in part:
+            summary.update(key)
+        built.append(summary)
+    left = SpaceSaving(capacity=2048)
+    left.merge(built[0])
+    left.merge(built[1])
+    left.merge(built[2])
+    inner = SpaceSaving(capacity=2048)
+    inner.merge(built[1])
+    inner.merge(built[2])
+    right = SpaceSaving(capacity=2048)
+    right.merge(built[0])
+    right.merge(inner)
+    assert sorted(left.items()) == sorted(right.items())
+
+
+def test_spacesaving_merge_rejects_mismatched_capacity():
+    with pytest.raises(ValueError):
+        SpaceSaving(capacity=8).merge(SpaceSaving(capacity=16))
+
+
+def test_spacesaving_validates_arguments():
+    with pytest.raises(ValueError):
+        SpaceSaving(capacity=0)
+    with pytest.raises(ValueError):
+        SpaceSaving().update(1, 0)
+
+
+def test_spacesaving_memory_plateaus_at_capacity():
+    small = SpaceSaving(capacity=64)
+    large = SpaceSaving(capacity=64)
+    for key in range(200):
+        small.update(key)
+    for key in range(5_000):
+        large.update(key)
+    assert small.memory_bytes() == large.memory_bytes()
+    assert len(small) == len(large) == 64
+
+
+def test_spacesaving_pickle_roundtrip():
+    summary = SpaceSaving(capacity=32)
+    for key in range(100):
+        summary.update(key % 40)
+    clone = pickle.loads(pickle.dumps(summary))
+    assert sorted(clone.items()) == sorted(summary.items())
+
+
+# -- HyperLogLog -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("cardinality", [500, 5_000, 40_000])
+def test_hll_within_three_sigma(cardinality):
+    """Across seeded trials the estimate stays within 3 sigma of the
+    1.04/sqrt(m) standard error (per-trial, not just on average)."""
+    for seed in (3, 11, 42):
+        hll = HyperLogLog(precision=12, seed=seed)
+        rng = SeededRng(seed, f"hll-{cardinality}")
+        keys = {int(rng.random() * 2**48) for _ in range(cardinality)}
+        for key in keys:
+            hll.add(key)
+        estimate = hll.estimate()
+        tolerance = 3 * hll.relative_error * len(keys)
+        assert abs(estimate - len(keys)) <= tolerance, (
+            f"seed {seed}: |{estimate:.0f} - {len(keys)}| > {tolerance:.0f}"
+        )
+
+
+def test_hll_is_insertion_idempotent():
+    hll = HyperLogLog(precision=10, seed=1)
+    for _ in range(50):
+        hll.add(12345)
+    assert hll.estimate() == pytest.approx(1.0, abs=0.5)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3, 4])
+def test_hll_merge_matches_serial_exactly(workers):
+    """Register-wise max is exact: merged shards equal the serial
+    sketch register for register, any merge order."""
+    keys = [mix64(value) & 0xFFFFFFFF for value in range(8_000)]
+    serial = HyperLogLog(precision=11, seed=17)
+    for key in keys:
+        serial.add(key)
+    shards = shard(keys, workers)
+    built = []
+    for part in shards:
+        hll = HyperLogLog(precision=11, seed=17)
+        for key in part:
+            hll.add(key)
+        built.append(hll)
+    forward = HyperLogLog(precision=11, seed=17)
+    for hll in built:
+        forward.merge(hll)
+    backward = HyperLogLog(precision=11, seed=17)
+    for hll in reversed(built):
+        backward.merge(hll)
+    assert forward._registers == serial._registers == backward._registers
+    assert forward.estimate() == serial.estimate()
+
+
+def test_hll_merge_rejects_mismatched():
+    with pytest.raises(ValueError):
+        HyperLogLog(precision=10, seed=1).merge(HyperLogLog(precision=10, seed=2))
+    with pytest.raises(ValueError):
+        HyperLogLog(precision=10, seed=1).merge(HyperLogLog(precision=11, seed=1))
+
+
+def test_hll_validates_precision():
+    with pytest.raises(ValueError):
+        HyperLogLog(precision=3)
+    with pytest.raises(ValueError):
+        HyperLogLog(precision=19)
+
+
+def test_hll_memory_constant_in_keys():
+    small = HyperLogLog(precision=12, seed=5)
+    large = HyperLogLog(precision=12, seed=5)
+    small.add(1)
+    for key in range(50_000):
+        large.add(key)
+    assert small.memory_bytes() == large.memory_bytes()
+
+
+def test_hll_pickle_roundtrip():
+    hll = HyperLogLog(precision=10, seed=9)
+    for key in range(3_000):
+        hll.add(key)
+    clone = pickle.loads(pickle.dumps(hll))
+    assert clone.estimate() == hll.estimate()
+
+
+# -- the tier's merge ------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3, 4])
+def test_tier_merge_deterministic_across_workers(workers):
+    """SketchTier.merge composes all structure merges under the
+    pipeline's disjoint source sharding — any order, same state."""
+    rng = SeededRng(31, "tier-merge")
+    events = []
+    for index in range(4_000):
+        source = mix64(index % 600) & 0xFFFFFFFF
+        events.append((source, float(index) * 0.5, 64 + index % 128))
+
+    def build(part):
+        tier = SketchTier(width=256, capacity=64, precision=10, seed=31)
+        for source, ts, length in part:
+            tier._observe_quic(source, ts, length, request=(source % 2 == 0))
+        return tier
+
+    shards = [[] for _ in range(workers)]
+    for event in events:
+        shards[mix64(event[0]) % workers].append(event)
+    tiers = [build(part) for part in shards]
+
+    def merged(order):
+        base = SketchTier(width=256, capacity=64, precision=10, seed=31)
+        for index in order:
+            base.merge(tiers[index])
+        return base
+
+    forward = merged(range(workers))
+    backward = merged(reversed(range(workers)))
+    sources = {event[0] for event in events}
+    for source in sources:
+        assert forward.packet_counts.estimate(
+            source
+        ) == backward.packet_counts.estimate(source)
+    assert forward.sources._registers == backward.sources._registers
+    assert sorted(forward.heavy["quic"].items()) == sorted(
+        backward.heavy["quic"].items()
+    )
+    assert forward.hourly_requests == backward.hourly_requests
+    assert forward.hourly_responses == backward.hourly_responses
+    # and the merged tallies still dominate the per-source truth
+    truth: dict = {}
+    for source, _ts, _length in events:
+        truth[source] = truth.get(source, 0) + 1
+    for source, count in truth.items():
+        assert forward.packet_counts.estimate(source) >= count
+
+
+def test_tier_merge_rejects_mismatched_sizing():
+    with pytest.raises(ValueError):
+        SketchTier(width=128, seed=1).merge(SketchTier(width=256, seed=1))
+
+
+def test_tier_merge_rejects_overlapping_episodes():
+    left = SketchTier(width=64, capacity=8, seed=1)
+    right = SketchTier(width=64, capacity=8, seed=1)
+    left._observe_backscatter("tcp", 42, 0.0)
+    right._observe_backscatter("tcp", 42, 0.0)
+    with pytest.raises(ValueError):
+        left.merge(right)
+
+
+def test_tier_pickle_drops_callbacks():
+    fired = []
+    tier = SketchTier(width=64, capacity=8, seed=1, on_alert=fired.append)
+    tier._observe_quic(1, 0.0, 100, request=True)
+    clone = pickle.loads(pickle.dumps(tier))
+    assert clone.on_alert is None and clone.on_ended is None
+    assert clone.packet_counts.estimate(1) == 1

@@ -21,6 +21,7 @@ from repro.stream import (
     OnlineCorrelator,
     StreamAnalyzer,
     StreamConfig,
+    StreamResultUnavailable,
     follow_pcap,
 )
 from repro.telescope import Scenario, ScenarioConfig
@@ -244,8 +245,15 @@ def test_bounded_mode_evicts_and_still_alerts(monitor_scenario):
     # ... but the totals in the report still cover the whole stream
     assert str(telemetry.packets) in analyzer.stream_report().replace(",", "")
 
-    with pytest.raises(RuntimeError):
+    # result() refuses with a structured error naming the alternatives
+    with pytest.raises(StreamResultUnavailable) as exc_info:
         analyzer.result()
+    assert exc_info.value.mode == "bounded"
+    message = str(exc_info.value)
+    assert "stream_report()" in message
+    assert "analyzer.telemetry" in message
+    assert "hourly_counters()" in message
+    assert "StreamConfig(mode=\"exact\")" in message
 
 
 def test_bounded_alerts_match_exact_alerts(monitor_scenario):
@@ -267,6 +275,10 @@ def test_status_line_and_telemetry(monitor_scenario):
     line = analyzer.status_line()
     assert line.startswith("[status] watermark=")
     assert f"alerts={analyzer.telemetry.alerts}" in line
+    # bounded-memory bookkeeping is surfaced in the periodic status line
+    assert f"evicted={analyzer.telemetry.evicted_sessions:,}" in line
+    assert f"pruned_sources={analyzer.telemetry.pruned_sources:,}" in line
+    assert f"pruned_hours={analyzer.telemetry.pruned_hours:,}" in line
     assert analyzer.telemetry.watermark_lag == 0.0  # no allowed lateness
     assert analyzer.telemetry.peak_live_sources >= analyzer.telemetry.live_sources
 

@@ -1,0 +1,274 @@
+"""Analyzer- and CLI-level tests for the sketch tier
+(``StreamConfig(mode="sketch")`` / ``watch --sketch``).
+
+The exact mode is the oracle: at default sizing the space-saving table
+never overflows on the monitor scenario, so the sketch tier's episode
+tracking must reproduce the exact alert stream bit for bit.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import AnalysisConfig
+from repro.stream import (
+    AttackEnded,
+    FloodAlert,
+    StreamAnalyzer,
+    StreamConfig,
+    StreamResultUnavailable,
+)
+from repro.telescope import Scenario, ScenarioConfig
+from repro.util.batching import batched
+from repro.util.timeutil import HOUR
+
+
+@pytest.fixture(scope="module")
+def monitor_scenario():
+    """One scenario plus a *captured* batch list: ``Scenario.packets()``
+    draws fresh randomness per call, so equivalence tests must replay
+    the identical stream into every analyzer under comparison."""
+    scenario = Scenario(
+        ScenarioConfig(seed=11, duration=2 * HOUR, research_sample=1 / 2048)
+    )
+    return scenario, list(batched(scenario.packets(), 512))
+
+
+def run_monitor(monitor, stream_config):
+    scenario, batches = monitor
+    analyzer = StreamAnalyzer(
+        registry=scenario.internet.registry,
+        census=scenario.internet.census,
+        greynoise=scenario.internet.greynoise,
+        config=AnalysisConfig(),
+        stream_config=stream_config,
+    )
+    events = list(analyzer.events(iter(batches)))
+    return analyzer, events
+
+
+# -- config ------------------------------------------------------------------
+
+
+def test_stream_config_mode_validation():
+    assert StreamConfig(mode="sketch").mode == "sketch"
+    assert StreamConfig().mode == "exact"
+    with pytest.raises(ValueError):
+        StreamConfig(mode="approximate")
+
+
+def test_stream_config_bounded_flag_back_compat():
+    legacy = StreamConfig(bounded=True)
+    assert legacy.mode == "bounded" and legacy.bounded
+    sketch = StreamConfig(mode="sketch")
+    assert not sketch.bounded
+
+
+# -- alert equivalence vs the exact oracle -----------------------------------
+
+
+def test_sketch_alerts_match_exact_alerts(monitor_scenario):
+    exact, exact_events = run_monitor(monitor_scenario, StreamConfig())
+    sketch, sketch_events = run_monitor(
+        monitor_scenario, StreamConfig(mode="sketch")
+    )
+
+    def alert_key(alert):
+        return (
+            alert.vector,
+            alert.victim_ip,
+            alert.start,
+            alert.crossed_at,
+            alert.packet_count,
+            alert.max_pps,
+        )
+
+    assert sorted(map(alert_key, sketch.alerts)) == sorted(
+        map(alert_key, exact.alerts)
+    )
+    assert sketch.alerts  # the scenario actually floods
+
+    def ended_key(event):
+        return (event.vector, event.victim_ip, event.start, event.category)
+
+    exact_ended = [e for e in exact_events if isinstance(e, AttackEnded)]
+    sketch_ended = [e for e in sketch_events if isinstance(e, AttackEnded)]
+    assert sorted(map(ended_key, sketch_ended)) == sorted(
+        map(ended_key, exact_ended)
+    )
+    # every alert is eventually closed out
+    alerts = [e for e in sketch_events if isinstance(e, FloodAlert)]
+    assert len(alerts) == len(sketch_ended)
+
+
+def test_sketch_memory_independent_of_source_count():
+    """The acceptance bar: tally memory must not grow with sources.
+    Two scenarios with very different cardinality, same sketch bytes."""
+    def monitor_for(duration, sample):
+        scenario = Scenario(
+            ScenarioConfig(seed=23, duration=duration, research_sample=sample)
+        )
+        return scenario, list(batched(scenario.packets(), 512))
+
+    small, _ = run_monitor(
+        monitor_for(0.5 * HOUR, 1 / 4096), StreamConfig(mode="sketch")
+    )
+    large, _ = run_monitor(
+        monitor_for(2 * HOUR, 1 / 1024), StreamConfig(mode="sketch")
+    )
+    assert large.telemetry.packets > 4 * small.telemetry.packets
+    # count-min and HLL bytes are *exactly* fixed at construction
+    for attr in ("packet_counts", "byte_counts", "sources", "victims"):
+        assert getattr(small.sketch, attr).memory_bytes() == getattr(
+            large.sketch, attr
+        ).memory_bytes()
+    # space-saving bytes are bounded by the filled-to-capacity table
+    from repro.stream.sketch import SpaceSaving
+
+    probe = SpaceSaving(capacity=small.sketch.heavy["quic"].capacity)
+    for key in range(probe.capacity):
+        probe.update(key)
+    ceiling = (
+        small.sketch.packet_counts.memory_bytes()
+        + small.sketch.byte_counts.memory_bytes()
+        + small.sketch.sources.memory_bytes()
+        + small.sketch.victims.memory_bytes()
+        + len(small.sketch.heavy) * probe.memory_bytes()
+    )
+    assert small.sketch.structure_memory_bytes() <= ceiling
+    assert large.sketch.structure_memory_bytes() <= ceiling
+
+
+# -- result() contract -------------------------------------------------------
+
+
+def test_sketch_result_raises_structured_error(monitor_scenario):
+    analyzer, _ = run_monitor(monitor_scenario, StreamConfig(mode="sketch"))
+    with pytest.raises(StreamResultUnavailable) as exc_info:
+        analyzer.result()
+    error = exc_info.value
+    assert error.mode == "sketch"
+    message = str(error)
+    assert "stream_report()" in message
+    assert "analyzer.sketch" in message
+    assert "StreamConfig(mode=\"exact\")" in message
+    assert isinstance(error, RuntimeError)  # old except-clauses still catch
+
+
+def test_sketch_telemetry_and_status_line(monitor_scenario):
+    analyzer, _ = run_monitor(monitor_scenario, StreamConfig(mode="sketch"))
+    telemetry = analyzer.telemetry
+    assert telemetry.sketch_memory_bytes > 0
+    assert telemetry.distinct_sources_est > 0
+    assert telemetry.distinct_victims_est > 0
+    line = analyzer.status_line()
+    assert "sketch[cms=2048x4 topk=512 hll=2^12]" in line
+    assert "mem=" in line and "distinct~" in line
+    assert "pruned_sources=" in line and "pruned_hours=" in line
+    report = analyzer.stream_report()
+    assert "sketch mode" in report
+    assert "distinct sources" in report
+
+
+# -- merge across worker shard counts ----------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3, 4])
+def test_tier_merge_deterministic_across_worker_counts(
+    monitor_scenario, workers
+):
+    """Shard the stream by source across 1..4 workers; merged sketch
+    state must be identical regardless of the worker count or merge
+    order — the property the parallel runner needs."""
+    from repro.stream.sketch import SketchTier, mix64
+
+    serial_analyzer, _ = run_monitor(
+        monitor_scenario, StreamConfig(mode="sketch")
+    )
+    serial = serial_analyzer.sketch
+
+    def fresh():
+        return SketchTier(seed=20210401)
+
+    shards = [fresh() for _ in range(workers)]
+    classifier = serial_analyzer.classifier
+    _scenario, batches = monitor_scenario
+    for batch in batches:
+        lanes = [[] for _ in range(workers)]
+        for packet in batch:
+            lanes[mix64(packet.ip.src) % workers].append(packet)
+        for tier, lane in zip(shards, lanes):
+            if lane:
+                tier.consume_lane(lane, classifier)
+
+    merged = fresh()
+    for tier in shards:
+        merged.merge(tier)
+    reverse = fresh()
+    for tier in reversed(shards):
+        reverse.merge(tier)
+
+    # merge order never matters: forward and reverse are identical
+    assert merged.packet_counts._rows == reverse.packet_counts._rows
+    assert merged.byte_counts._rows == reverse.byte_counts._rows
+    assert merged.sources._registers == reverse.sources._registers
+    for vector in merged.heavy:
+        assert sorted(merged.heavy[vector].items()) == sorted(
+            reverse.heavy[vector].items()
+        )
+    # HLL register-max and the additive tallies are *exactly* the
+    # serial state; conservative-update rows coincide only at workers=1
+    # (per-shard suppression differs) but the totals always agree
+    assert merged.sources._registers == serial.sources._registers
+    assert merged.victims._registers == serial.victims._registers
+    assert merged.packet_counts.total == serial.packet_counts.total
+    assert merged.byte_counts.total == serial.byte_counts.total
+    assert merged.hourly_requests == serial.hourly_requests
+    assert merged.hourly_responses == serial.hourly_responses
+    if workers == 1:
+        assert merged.packet_counts._rows == serial.packet_counts._rows
+        for vector in merged.heavy:
+            assert sorted(merged.heavy[vector].items()) == sorted(
+                serial.heavy[vector].items()
+            )
+
+
+def test_analyzer_sketch_state_pickles(monitor_scenario):
+    analyzer, _ = run_monitor(monitor_scenario, StreamConfig(mode="sketch"))
+    clone = pickle.loads(pickle.dumps(analyzer.sketch))
+    assert clone.packet_counts.total == analyzer.sketch.packet_counts.total
+    assert clone.on_alert is None
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def run_cli(argv):
+    import io
+
+    from repro.cli import main
+
+    stream = io.StringIO()
+    code = main(argv, stream=stream)
+    return code, stream.getvalue()
+
+
+WATCH_FAST = ["--hours", "1.5", "--research-sample", "0.0005", "--seed", "11"]
+
+
+def test_cli_watch_sketch_mode():
+    code, out = run_cli(
+        ["watch"] + WATCH_FAST + ["--sketch", "--status-every", "1800"]
+    )
+    assert code == 0
+    assert "[sketch mode]" in out
+    assert "[ALERT]" in out
+    assert "[ended]" in out
+    assert "sketch[cms=" in out
+    assert "Streaming monitor summary (sketch mode)" in out
+
+
+def test_cli_watch_sketch_and_exact_conflict(capsys):
+    code, _out = run_cli(["watch"] + WATCH_FAST + ["--sketch", "--exact"])
+    assert code == 2
+    assert "not allowed with" in capsys.readouterr().err
