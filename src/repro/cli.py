@@ -72,6 +72,7 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser("simulate", help="generate a telescope capture pcap")
     _scenario_args(simulate)
     simulate.add_argument("--out", required=True, help="output pcap path")
+    _gen_args(simulate)
 
     analyze = sub.add_parser("analyze", help="analyze a pcap capture")
     analyze.add_argument("pcap", help="input pcap path")
@@ -101,6 +102,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--export", help="write per-figure CSV/JSON data here")
     _workers_arg(report)
     _lane_arg(report)
+    _gen_args(report)
     _metrics_arg(report)
     _faults_args(report)
 
@@ -234,6 +236,26 @@ def _lane_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _gen_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--gen-lane",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="generate through the columnar generation fast lane (wire "
+        "bytes stamped from mutable templates; output is byte-identical "
+        "either way; --no-gen-lane forces the rich per-packet object "
+        "path)",
+    )
+    parser.add_argument(
+        "--gen-workers",
+        type=int,
+        default=1,
+        help="worker processes for scenario generation (sharded by "
+        "traffic source; the merged stream is bit-identical to "
+        "--gen-workers 1; requires --gen-lane)",
+    )
+
+
 def _faults_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--faults",
@@ -330,7 +352,15 @@ def _emit_report(result, scenario, out_path: Optional[str], stream) -> None:
 def cmd_simulate(args, stream) -> int:
     scenario = _scenario(args)
     print(f"simulating {args.hours:.1f} h at telescope {scenario.telescope.prefix} ...", file=stream)
-    count = scenario.telescope.capture_to_pcap(scenario.packets(), args.out)
+    if args.gen_lane:
+        from repro.net.pcap import write_records
+        from repro.telescope.genlane import wire_items
+
+        count = write_records(
+            args.out, wire_items(scenario.records(workers=args.gen_workers))
+        )
+    else:
+        count = scenario.telescope.capture_to_pcap(scenario.packets(), args.out)
     print(
         f"wrote {count:,} packets to {args.out} "
         f"(planned QUIC floods: {len(scenario.plan.quic_floods)})",
@@ -375,10 +405,24 @@ def cmd_report(args, stream) -> int:
         return 2
     scenario = _scenario(args)
     pipeline = _pipeline(scenario, workers=args.workers, fast_lane=args.fast_lane)
-    packets = scenario.packets()
-    if injector is not None:
-        packets = injector.wrap(packets)
-    result = pipeline.process(packets)
+    if (
+        args.gen_lane
+        and args.fast_lane
+        and args.workers == 1
+        and injector is None
+    ):
+        # fused fast path: gen records feed the batch lane directly —
+        # no CapturedPacket objects, no wire bytes, no dissection
+        result = pipeline.process_record_batches(
+            scenario.lane_batches(
+                pipeline.config.batch_size, workers=args.gen_workers
+            )
+        )
+    else:
+        packets = scenario.packets()
+        if injector is not None:
+            packets = injector.wrap(packets)
+        result = pipeline.process(packets)
     if injector is not None:
         print(injector.summary(), file=stream)
     _emit_report(result, scenario, args.report_out, stream)

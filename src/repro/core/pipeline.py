@@ -831,6 +831,27 @@ class QuicsandPipeline:
                 state.close()
         return self._finalize(state)
 
+    def process_record_batches(self, batches: Iterable[list]) -> PipelineResult:
+        """Analyze pre-batched 11-field lane records (the fused path).
+
+        The generate→analyze fast lane: a scenario's
+        ``lane_batches()`` feed (or any other source of
+        :meth:`PartialState.consume_lane_records` batches) goes
+        straight into the per-packet phase with no wire serialization
+        and no dissection-side parsing.  Identical to
+        :meth:`process` over the equivalent packet stream
+        (``tests/test_genlane_equivalence.py``).
+        """
+        cfg = self.config
+        with obs.span(_M_STAGE, stage="per-packet-serial"):
+            state = PartialState.initial(cfg)
+            lane = BatchLane(dissect_payloads=cfg.dissect_payloads)
+            for batch in batches:
+                state.consume_lane_records(batch, lane)
+            state.record_classifier(lane)
+            state.close()
+        return self._finalize(state)
+
     def finalize_state(self, state: PartialState) -> PipelineResult:
         """Run the once-per-capture steps on an externally accumulated
         state (the streaming monitor's exact mode uses this — see

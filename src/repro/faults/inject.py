@@ -63,7 +63,9 @@ class FaultInjector:
         self.spec = spec
         self.seed = seed
         root = SeededRng(seed, "faults")
-        self._rng = {kind: root.child(f"faults:{kind}") for kind in FAULT_KINDS}
+        # split() derives the same seeds as child() but rejects label
+        # reuse, so each fault kind provably owns its own stream
+        self._rng = {kind: root.split(f"faults:{kind}") for kind in FAULT_KINDS}
         self.stats: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
         self._published: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
 

@@ -268,6 +268,48 @@ def write_pcap(path: Union[str, Path], packets: Iterable[CapturedPacket]) -> int
     return count
 
 
+#: chunked-write threshold for :func:`write_records` — large enough to
+#: amortize syscalls, small enough to keep the buffer cache-resident.
+_WRITE_CHUNK = 1 << 20
+
+
+def write_records(
+    path: Union[str, Path], items: Iterable[tuple]
+) -> int:
+    """Bulk-write ``(timestamp, wire_bytes)`` pairs to ``path``.
+
+    The generation fast lane's writer: one reused bytearray accumulates
+    record headers and packet bytes and is flushed in ~1 MiB chunks, so
+    the per-packet cost is two appends instead of two ``write`` calls.
+    Timestamp rounding and header layout replicate :class:`PcapWriter`
+    exactly — the output is byte-identical to writing the same packets
+    one at a time (``tests/test_pcap_bulk.py``).  ``wire_bytes`` may be
+    a borrowed/mutable buffer (e.g. ``genlane.wire_items``): it is
+    copied into the chunk buffer before the next item is drawn.
+    """
+    count = 0
+    pack = _RECORD.pack
+    buffer = bytearray()
+    with open(path, "wb") as stream:
+        stream.write(_GLOBAL.pack(MAGIC_MICROS, 2, 4, 0, 0, SNAPLEN, LINKTYPE_RAW))
+        for timestamp, data in items:
+            seconds = int(timestamp)
+            micros = int(round((timestamp - seconds) * 1e6))
+            if micros >= 1_000_000:
+                seconds += 1
+                micros -= 1_000_000
+            length = len(data)
+            buffer += pack(seconds, micros, length, length)
+            buffer += data
+            count += 1
+            if len(buffer) >= _WRITE_CHUNK:
+                stream.write(buffer)
+                buffer.clear()
+        if buffer:
+            stream.write(buffer)
+    return count
+
+
 def read_pcap(
     path: Union[str, Path], lenient: bool = False
 ) -> Iterator[CapturedPacket]:

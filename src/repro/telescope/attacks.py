@@ -34,6 +34,9 @@ from repro.util.timeutil import HOUR
 from repro.internet.activescan import QuicServerRecord
 from repro.internet.topology import InternetModel
 from repro.telescope.backscatter import (
+    _ICMP_PAYLOAD as _ICMP_RECORD_PAYLOAD,
+    _RST_ACK as _RST_ACK_FLAGS,
+    _SYN_ACK as _SYN_ACK_FLAGS,
     IcmpVictimResponder,
     QuicVictimResponder,
     ResponderPolicy,
@@ -438,6 +441,145 @@ class AttackTrafficModel:
                 yield heapq.heappop(buffer)[2]
         while buffer:
             yield heapq.heappop(buffer)[2]
+
+    def flood_records(self, flood: FloodEvent) -> Iterator:
+        """:meth:`flood_packets` as flat gen records (same draws).
+
+        The responder's ``respond_records`` twin shares the draw path
+        with ``respond``, and the reorder buffer keys on the identical
+        ``(timestamp, sequence)`` pairs, so the record stream is the
+        packet stream minus the dataclasses.
+
+        The request loop inlines its per-packet draws —
+        ``expovariate`` is ``-log(1 - random()) / rate`` and ``choice``
+        / ``randint`` bottom out in ``_randbelow``'s rejection loop
+        over ``getrandbits`` — consuming the generator identically to
+        the :class:`random.Random` methods the rich loop calls, while
+        skipping two or three interpreter frames per draw.  TCP and
+        ICMP floods additionally skip the reorder buffer entirely:
+        their responders answer with exactly one record at the request
+        timestamp, so the request order *is* the emit order.
+        """
+        rng = self.rng.child(
+            f"flood:{flood.vector}:{flood.victim_ip}:{flood.start:.3f}"
+        )
+        if flood.vector == QUIC:
+            responder = QuicVictimResponder(
+                flood.victim_ip, rng, self._policy_for(flood)
+            )
+        elif flood.vector == TCP:
+            responder = TcpVictimResponder(flood.victim_ip, rng)
+        else:
+            responder = IcmpVictimResponder(flood.victim_ip, rng)
+        pool = [
+            self.internet.random_telescope_address(rng)
+            for _ in range(flood.spoofed_pool_size)
+        ]
+        cfg = self.config
+        t = flood.start
+        random = rng.random
+        getrandbits = rng.getrandbits
+        log = math.log
+        rate = flood.telescope_request_rate
+        end = flood.end
+        pulse_probability = cfg.pulse_probability
+        pulse_mu = log(cfg.pulse_median)
+        pulse_sigma = cfg.pulse_sigma
+        pulse_max = cfg.pulse_max
+        lognormvariate = rng.lognormvariate
+        pool_size = len(pool)
+        pool_bits = pool_size.bit_length()
+        victim = flood.victim_ip
+        # randint(1024, 65535) == 1024 + _randbelow(64512); 64512 needs
+        # 16 bits, so the rejection threshold is fixed at 64512.
+        if flood.vector == TCP:
+            # inlined TcpVictimResponder._respond_fields on the
+            # responder's own child stream (identical draws)
+            rrandom = responder.rng.random
+            rbits = responder.rng.getrandbits
+            rst_fraction = responder.rst_fraction
+            service_port = responder.service_port
+            rst_ack, syn_ack = int(_RST_ACK_FLAGS), int(_SYN_ACK_FLAGS)
+            while True:
+                t += -log(1.0 - random()) / rate
+                if random() < pulse_probability:
+                    t += min(lognormvariate(pulse_mu, pulse_sigma), pulse_max)
+                if t >= end:
+                    break
+                r = getrandbits(pool_bits)
+                while r >= pool_size:
+                    r = getrandbits(pool_bits)
+                spoofed_ip = pool[r]
+                port = getrandbits(16)
+                while port >= 64512:
+                    port = getrandbits(16)
+                flags = rst_ack if rrandom() < rst_fraction else syn_ack
+                seq = rbits(33)
+                while seq >= 4294967296:
+                    seq = rbits(33)
+                ack = rbits(33)
+                while ack >= 4294967296:
+                    ack = rbits(33)
+                yield (
+                    t, victim, spoofed_ip, 40, 6, 2,
+                    service_port, 1024 + port, flags, 0, b"", seq, ack,
+                )
+            return
+        if flood.vector == ICMP:
+            # inlined IcmpVictimResponder.respond_records; the
+            # identifier draw is randint(0, 0xFFFF) == _randbelow(65536)
+            rbits = responder.rng.getrandbits
+            sequence = 0
+            while True:
+                t += -log(1.0 - random()) / rate
+                if random() < pulse_probability:
+                    t += min(lognormvariate(pulse_mu, pulse_sigma), pulse_max)
+                if t >= end:
+                    break
+                r = getrandbits(pool_bits)
+                while r >= pool_size:
+                    r = getrandbits(pool_bits)
+                spoofed_ip = pool[r]
+                port = getrandbits(16)
+                while port >= 64512:
+                    port = getrandbits(16)
+                sequence = (sequence + 1) & 0xFFFF
+                identifier = rbits(17)
+                while identifier >= 65536:
+                    identifier = rbits(17)
+                yield (
+                    t, victim, spoofed_ip, 60, 1, 3,
+                    0, 0, 0, 32, _ICMP_RECORD_PAYLOAD, identifier, sequence,
+                )
+            return
+        # QUIC: response trains extend past the request, so the bounded
+        # reorder buffer from flood_packets is still required.
+        buffer: list = []
+        sequence = 0
+        respond = responder.respond_records
+        heappush, heappop = heapq.heappush, heapq.heappop
+        span = self._TRAIN_SPAN
+        while True:
+            t += -log(1.0 - random()) / rate
+            if random() < pulse_probability:
+                # attacker pulse: a sub-timeout silence inside the flood
+                t += min(lognormvariate(pulse_mu, pulse_sigma), pulse_max)
+            if t >= end:
+                break
+            r = getrandbits(pool_bits)
+            while r >= pool_size:
+                r = getrandbits(pool_bits)
+            spoofed_ip = pool[r]
+            port = getrandbits(16)
+            while port >= 64512:
+                port = getrandbits(16)
+            for record in respond(t, spoofed_ip, 1024 + port):
+                heappush(buffer, (record[0], sequence, record))
+                sequence += 1
+            while buffer and buffer[0][0] <= t - span:
+                yield heappop(buffer)[2]
+        while buffer:
+            yield heappop(buffer)[2]
 
     def packets(self, plan: AttackPlan) -> Iterator:
         """Merged, time-sorted packet stream for every planned flood."""

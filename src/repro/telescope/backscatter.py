@@ -30,9 +30,9 @@ from repro.net.tcp import TcpFlags, TcpHeader
 from repro.net.udp import UdpHeader
 from repro.util.caching import template_cache_enabled
 from repro.util.rng import SeededRng
-from repro.quic import tls
+from repro.quic import crypto, tls
 from repro.quic.crypto import derive_handshake_secret, derive_initial_keys
-from repro.quic.frames import AckFrame, CryptoFrame, PingFrame
+from repro.quic.frames import AckFrame, CryptoFrame, PingFrame, serialize_frames
 from repro.quic.header import LongHeader, PacketType
 from repro.quic.packet import PlainPacket, build_datagram, protect_packet
 from repro.quic.versions import KNOWN_VERSIONS, QUIC_V1, QuicVersion
@@ -118,9 +118,108 @@ def _collect_response_template_metrics() -> None:
     _M_CACHE_HITS.set_total(_RESPONSE_TEMPLATES.hits, cache="response")
     _M_CACHE_MISSES.set_total(_RESPONSE_TEMPLATES.misses, cache="response")
     _M_CACHE_SIZE.set(len(_RESPONSE_TEMPLATES), cache="response")
+    _M_CACHE_HITS.set_total(_INITIAL_SEALER_STATS["hits"], cache="initial-sealer")
+    _M_CACHE_MISSES.set_total(
+        _INITIAL_SEALER_STATS["misses"], cache="initial-sealer"
+    )
+    _M_CACHE_SIZE.set(len(_INITIAL_SEALERS), cache="initial-sealer")
 
 
 _obs.REGISTRY.add_collector(_collect_response_template_metrics)
+
+
+#: Compiled per-``(version, attacker DCID, SCID)`` sealers for the one
+#: packet the template cache cannot hold: the server Initial, whose
+#: plaintext embeds a fresh 32-byte ServerHello random per response.
+#: Everything around that window — frame serialization, keys, keystream,
+#: header bytes — is fixed per key, so a sealer precomputes those parts
+#: and each response costs one XOR, one HMAC tag, and one HP mask.
+#: ``False`` marks a shape the template could not reproduce (the build
+#: self-verifies against :func:`protect_packet` before first use).
+_INITIAL_SEALERS: dict = {}
+_INITIAL_SEALER_MAX = 8192
+_INITIAL_SEALER_STATS = {"hits": 0, "misses": 0}
+
+
+def _build_initial_sealer(version, attacker_dcid, scid, probe_random):
+    """Compile the fast Initial sealer for one template identity.
+
+    Locates the 32-byte ServerHello-random window inside the serialized
+    payload with two sentinel fills (0x00 / 0xFF differ at every window
+    byte, so the common prefix/suffix delimit it exactly), precomputes
+    header bytes, keystream, and AAD, then replays :func:`protect_packet`
+    arithmetic per call.  Returns ``None`` — caller falls back to the
+    canonical path — if the payload shape defies the window model or the
+    compiled sealer fails its self-check against ``protect_packet``.
+    """
+    _ckeys, server_init = derive_initial_keys(version, attacker_dcid)
+
+    def payload_for(r32: bytes) -> bytes:
+        return serialize_frames(
+            [AckFrame(0), CryptoFrame(0, tls.ServerHello(random=r32).serialize())]
+        )
+
+    low, high = payload_for(b"\x00" * 32), payload_for(b"\xff" * 32)
+    size = len(low)
+    if len(high) != size or size < 4:
+        return None
+    start = 0
+    while start < size and low[start] == high[start]:
+        start += 1
+    stop = size
+    while stop > start and low[stop - 1] == high[stop - 1]:
+        stop -= 1
+    if stop - start != 32 or low[start:stop] != b"\x00" * 32:
+        return None
+    prefix, suffix = low[:start], low[stop:]
+    pn_bytes = crypto.encode_packet_number(0, -1)
+    pn_len = len(pn_bytes)
+    header = LongHeader(
+        packet_type=PacketType.INITIAL, version=version.value, dcid=b"", scid=scid
+    )
+    header_bytes = header.pack_prefix(pn_len, pn_len + size + crypto.AEAD_TAG_LEN)
+    nonce = crypto._nonce(server_init.iv, 0)
+    # the sealed tag covers nonce + AAD (header ‖ pn) + ciphertext
+    auth_head = nonce + header_bytes + pn_bytes
+    stream_int = int.from_bytes(
+        crypto._keystream(server_init.key, nonce, size), "big"
+    )
+    key, hp = server_init.key, server_init.hp
+    head_first, head_rest = header_bytes[0], header_bytes[1:]
+    sample_at = 4 - pn_len
+    sample_end = sample_at + crypto.HP_SAMPLE_LEN
+    from_bytes = int.from_bytes
+
+    def seal(r32: bytes) -> bytes:
+        ciphertext = (
+            from_bytes(prefix + r32 + suffix, "big") ^ stream_int
+        ).to_bytes(size, "big")
+        sealed = ciphertext + crypto._hmac_tag(key, auth_head + ciphertext)
+        mask = crypto.header_protection_mask(hp, sealed[sample_at:sample_end])
+        protected_pn = bytes(
+            b ^ m for b, m in zip(pn_bytes, mask[1 : 1 + pn_len])
+        )
+        return (
+            bytes([head_first ^ (mask[0] & 0x0F)])
+            + head_rest
+            + protected_pn
+            + sealed
+        )
+
+    expected = protect_packet(
+        PlainPacket(
+            header=header,
+            packet_number=0,
+            frames=[
+                AckFrame(0),
+                CryptoFrame(0, tls.ServerHello(random=probe_random).serialize()),
+            ],
+        ),
+        server_init,
+    )
+    if seal(probe_random) != expected:
+        return None
+    return seal
 
 # Hoisted flag combinations: ``IntFlag.__or__`` costs an enum lookup per
 # call, and the TCP responder builds one of these per backscatter packet.
@@ -213,34 +312,60 @@ class QuicVictimResponder:
         Returns :class:`~repro.net.packet.CapturedPacket` records in
         time order.
         """
+        return [
+            self._packet(timestamp + delay, spoofed_ip, spoofed_port, payload)
+            for delay, payload in self._response_schedule(spoofed_ip)
+        ]
+
+    def respond_records(
+        self, timestamp: float, spoofed_ip: int, spoofed_port: int
+    ) -> list:
+        """:meth:`respond` as flat gen records (same draws, same bytes).
+
+        The generation fast lane's twin: one ``(delay, payload)``
+        schedule feeds both methods, so the two differ only in the
+        container built around each datagram.
+        """
+        victim = self.victim_ip
+        return [
+            (
+                timestamp + delay,
+                victim,
+                spoofed_ip,
+                28 + len(payload),
+                17,
+                1,
+                443,
+                spoofed_port,
+                0,
+                len(payload),
+                payload,
+            )
+            for delay, payload in self._response_schedule(spoofed_ip)
+        ]
+
+    def _response_schedule(self, spoofed_ip: int) -> list:
+        """The ``(delay, datagram_bytes)`` train for one spoofed Initial."""
         version = self.policy.version
         if self.rng.random() < self.policy.vn_probability:
-            return [self._version_negotiation(timestamp, spoofed_ip, spoofed_port)]
+            return [(0.0, self._vn_payload(spoofed_ip))]
         scid = self._scid_for(spoofed_ip)
         # The attacker's Initial carried a DCID from its template pool;
         # the victim keys its Initial-level response on it.
         attacker_dcid = self.rng.choice(self._dcid_pool)
-        _ckeys, server_init = derive_initial_keys(version, attacker_dcid)
         server_hs = derive_handshake_secret(version, attacker_dcid, "server hs")
 
-        server_hello = tls.ServerHello(random=self.rng.randbytes(32))
+        sh_random = self.rng.randbytes(32)
         first_chunk = min(len(self._hs_stream), 900)
-        initial_packet = PlainPacket(
-            header=LongHeader(
-                packet_type=PacketType.INITIAL,
-                version=version.value,
-                dcid=b"",
-                scid=scid,
-            ),
-            packet_number=0,
-            frames=[AckFrame(0), CryptoFrame(0, server_hello.serialize())],
-        )
         # The Initial carries the per-response ServerHello random, so it
-        # is protected fresh; its Handshake companions are templates.
+        # is protected fresh (via the compiled sealer when the template
+        # caches are on); its Handshake companions are templates.
         # Coalescing is plain concatenation (no padding requested), so
         # the cached suffix is byte-identical to an inline build.
         ns = self._template_ns
-        datagram_1 = protect_packet(initial_packet, server_init) + self.templates.get(
+        datagram_1 = self._initial_datagram(
+            version, attacker_dcid, scid, sh_random
+        ) + self.templates.get(
             ("hs1", ns, attacker_dcid, scid),
             lambda: protect_packet(
                 self._handshake_packet(0, CryptoFrame(0, self._hs_stream[:first_chunk]), scid),
@@ -276,10 +401,50 @@ class QuicVictimResponder:
             # PTO fires: the whole first datagram is retransmitted.
             schedule.append((1.0, datagram_1))
 
-        return [
-            self._packet(timestamp + delay, spoofed_ip, spoofed_port, payload)
-            for delay, payload in schedule
-        ]
+        return schedule
+
+    def _initial_datagram(
+        self, version, attacker_dcid: bytes, scid: bytes, sh_random: bytes
+    ) -> bytes:
+        """The protected server Initial for one response.
+
+        Served by a compiled sealer from :data:`_INITIAL_SEALERS` when
+        the template caches are enabled; the canonical
+        :func:`protect_packet` path otherwise (and for any shape the
+        sealer build could not verify) — both produce identical bytes.
+        """
+        if template_cache_enabled():
+            key = (version.value, attacker_dcid, scid)
+            sealer = _INITIAL_SEALERS.get(key)
+            if sealer is None:
+                _INITIAL_SEALER_STATS["misses"] += 1
+                if len(_INITIAL_SEALERS) >= _INITIAL_SEALER_MAX:
+                    _INITIAL_SEALERS.clear()
+                built = _build_initial_sealer(
+                    version, attacker_dcid, scid, sh_random
+                )
+                sealer = _INITIAL_SEALERS[key] = (
+                    built if built is not None else False
+                )
+            else:
+                _INITIAL_SEALER_STATS["hits"] += 1
+            if sealer:
+                return sealer(sh_random)
+        _ckeys, server_init = derive_initial_keys(version, attacker_dcid)
+        initial_packet = PlainPacket(
+            header=LongHeader(
+                packet_type=PacketType.INITIAL,
+                version=version.value,
+                dcid=b"",
+                scid=scid,
+            ),
+            packet_number=0,
+            frames=[
+                AckFrame(0),
+                CryptoFrame(0, tls.ServerHello(random=sh_random).serialize()),
+            ],
+        )
+        return protect_packet(initial_packet, server_init)
 
     def _handshake_packet(self, packet_number: int, frame, scid: bytes) -> PlainPacket:
         return PlainPacket(
@@ -293,9 +458,7 @@ class QuicVictimResponder:
             frames=[frame],
         )
 
-    def _version_negotiation(
-        self, timestamp: float, spoofed_ip: int, spoofed_port: int
-    ) -> CapturedPacket:
+    def _vn_payload(self, spoofed_ip: int) -> bytes:
         """The victim rejects a stale-version Initial with a VN packet."""
         from repro.quic.header import VersionNegotiationPacket
 
@@ -304,7 +467,7 @@ class QuicVictimResponder:
             scid=self._scid_for(spoofed_ip),
             supported_versions=(self.policy.version.value, QUIC_V1.value),
         )
-        return self._packet(timestamp, spoofed_ip, spoofed_port, packet.serialize())
+        return packet.serialize()
 
     def _packet(
         self, timestamp: float, dst_ip: int, dst_port: int, payload: bytes
@@ -328,22 +491,64 @@ class TcpVictimResponder:
         self.service_port = service_port
         self.rst_fraction = rst_fraction
 
-    def respond(self, timestamp: float, spoofed_ip: int, spoofed_port: int) -> list:
+    def _respond_fields(self) -> tuple:
         flags = (
             _RST_ACK if self.rng.random() < self.rst_fraction else _SYN_ACK
         )
+        # randint(0, 2**32 - 1) == _randbelow(2**32), which draws
+        # 33-bit words and rejects the top half — inlined here because
+        # both the rich and record response paths pay it per packet.
+        getrandbits = self.rng.getrandbits
+        seq = getrandbits(33)
+        while seq >= 4294967296:
+            seq = getrandbits(33)
+        ack = getrandbits(33)
+        while ack >= 4294967296:
+            ack = getrandbits(33)
+        return flags, seq, ack
+
+    def respond(self, timestamp: float, spoofed_ip: int, spoofed_port: int) -> list:
+        flags, seq, ack = self._respond_fields()
         packet = CapturedPacket(
             timestamp=timestamp,
             ip=IPv4Header(src=self.victim_ip, dst=spoofed_ip, proto=IPProto.TCP),
             transport=TcpHeader(
                 src_port=self.service_port,
                 dst_port=spoofed_port,
-                seq=self.rng.randint(0, 2**32 - 1),
-                ack=self.rng.randint(0, 2**32 - 1),
+                seq=seq,
+                ack=ack,
                 flags=flags,
             ),
         )
         return [packet]
+
+    def respond_records(
+        self, timestamp: float, spoofed_ip: int, spoofed_port: int
+    ) -> list:
+        """:meth:`respond` as a flat 13-field gen record (same draws)."""
+        flags, seq, ack = self._respond_fields()
+        return [
+            (
+                timestamp,
+                self.victim_ip,
+                spoofed_ip,
+                40,
+                6,
+                2,
+                self.service_port,
+                spoofed_port,
+                int(flags),
+                0,
+                b"",
+                seq,
+                ack,
+            )
+        ]
+
+
+#: every echo reply carries the same 32 zero bytes — one shared object
+#: keeps record tuples and template-cache keys cheap.
+_ICMP_PAYLOAD = b"\x00" * 32
 
 
 class IcmpVictimResponder:
@@ -364,6 +569,34 @@ class IcmpVictimResponder:
                 identifier=self.rng.randint(0, 0xFFFF),
                 sequence=self._sequence,
             ),
-            payload=b"\x00" * 32,
+            payload=_ICMP_PAYLOAD,
         )
         return [packet]
+
+    def respond_records(
+        self, timestamp: float, spoofed_ip: int, _spoofed_port: int
+    ) -> list:
+        """:meth:`respond` as a flat 13-field gen record (same draws).
+
+        f1/f2 carry the ICMP type/code (echo reply: 0/0), x1/x2 the
+        identifier and sequence the wire needs.
+        """
+        self._sequence = (self._sequence + 1) & 0xFFFF
+        identifier = self.rng.randint(0, 0xFFFF)
+        return [
+            (
+                timestamp,
+                self.victim_ip,
+                spoofed_ip,
+                60,
+                1,
+                3,
+                0,
+                0,
+                0,
+                32,
+                _ICMP_PAYLOAD,
+                identifier,
+                self._sequence,
+            )
+        ]

@@ -61,6 +61,9 @@ class MisconfigurationModel:
                 yield packet
 
     def _session(self, session_start: float) -> list:
+        return self._session_items(session_start, records=False)
+
+    def _session_items(self, session_start: float, records: bool) -> list:
         source = self._pick_source()
         responder = QuicVictimResponder(
             source,
@@ -73,13 +76,31 @@ class MisconfigurationModel:
         requests = max(1, count // 3)
         dst = self.internet.random_telescope_address(self.rng)
         dst_port = self.rng.randint(1024, 65535)
+        respond = responder.respond_records if records else responder.respond
         packets = []
         t = session_start
         for _ in range(requests):
-            packets.extend(responder.respond(t, dst, dst_port))
+            packets.extend(respond(t, dst, dst_port))
             t += self.rng.expovariate(requests / max(self.mean_duration, 1.0))
-        packets.sort(key=lambda p: p.timestamp)
+        packets.sort(key=(lambda r: r[0]) if records else (lambda p: p.timestamp))
         return packets
+
+    def records(self, start: float, end: float) -> Iterator[tuple]:
+        """``packets()`` as flat gen records (same draws, same order)."""
+        rate = self.sessions_per_day / 86400.0
+        sessions = []
+        t = start
+        while True:
+            t += self.rng.expovariate(rate)
+            if t >= end:
+                break
+            sessions.append(self._session_items(t, records=True))
+        merged = sorted(
+            (r for session in sessions for r in session), key=lambda r: r[0]
+        )
+        for record in merged:
+            if start <= record[0] < end:
+                yield record
 
 
 @dataclass
@@ -122,3 +143,29 @@ class StrayUdpModel:
                 ),
                 payload=payload,
             )
+
+    def records(self, start: float, end: float) -> Iterator[tuple]:
+        """``packets()`` as flat gen records (same draws, same order).
+
+        Note the ``random_unrouted_address()`` call draws from the
+        *shared* topology RNG — this stream must therefore stay a single
+        generation unit (see ``telescope/parallel.py``), which keeps
+        sharded generation bit-identical.
+        """
+        rate = self.packets_per_day / 86400.0
+        t = start
+        while True:
+            t += self.rng.expovariate(rate)
+            if t >= end:
+                break
+            to_port_443 = self.rng.random() < 0.5
+            if self.rng.random() < 0.5:
+                payload = b"\x16\xfe\xfd" + self.rng.randbytes(45)
+            else:
+                payload = self.rng.randbytes(self.rng.randint(1, 25))
+            source = self.internet.random_unrouted_address()
+            dst = self.internet.random_telescope_address(self.rng)
+            src_port = 443 if not to_port_443 else self.rng.randint(1024, 65535)
+            dst_port = 443 if to_port_443 else self.rng.randint(1024, 65535)
+            plen = len(payload)
+            yield (t, source, dst, 28 + plen, 17, 1, src_port, dst_port, 0, plen, payload)

@@ -203,6 +203,50 @@ class ResearchScannerModel:
                 )
             sweep_start += self.sweep_interval
 
+    def records(self, start: float, end: float) -> Iterator[tuple]:
+        """``packets()`` as flat gen records (same draws, same order).
+
+        The generation fast lane's twin of :meth:`packets`: identical
+        RNG consumption, identical timestamps/addresses/payloads, but
+        flat tuples (see ``telescope/genlane.py``) instead of header
+        dataclasses.  ``tests/test_genlane_equivalence.py`` pins the
+        equivalence for the whole scenario.
+        """
+        telescope = self.internet.telescope_net
+        probes_per_sweep = max(1, int(telescope.size * self.sample))
+        stride = max(1, telescope.size // probes_per_sweep)
+        sweep_start = start + self.phase
+        src = self.scanner.address
+        base = telescope.network
+        size = telescope.size
+        next_probe = self._pool.next_probe
+        randint = self.rng.randint
+        while sweep_start < end:
+            spacing = self.sweep_duration / probes_per_sweep
+            offset = randint(0, stride - 1)
+            for i in range(probes_per_sweep):
+                timestamp = sweep_start + i * spacing
+                if timestamp >= end:
+                    break
+                if timestamp < start:
+                    continue
+                payload = next_probe()
+                plen = len(payload)
+                yield (
+                    timestamp,
+                    src,
+                    base + (offset + i * stride) % size,
+                    28 + plen,
+                    17,
+                    1,
+                    40000 + (i % 20000),
+                    443,
+                    0,
+                    plen,
+                    payload,
+                )
+            sweep_start += self.sweep_interval
+
 
 @dataclass
 class BotScannerModel:
@@ -266,6 +310,28 @@ class BotScannerModel:
                 t += self.rng.uniform(45.0, self.pause_max)
         return packets
 
+    def session_records(self, session_start: float, bot: BotHost) -> list:
+        """:meth:`session_packets` as flat gen records (same draws)."""
+        rng = self.rng
+        count = max(1, int(rng.expovariate(1.0 / self.mean_packets_per_session)) + 1)
+        src_port = rng.randint(1024, 65535)
+        legacy = rng.random() < self.gquic_fraction
+        legacy_payload = gquic_probe(rng) if legacy else None
+        records = []
+        src = bot.address
+        t = session_start
+        for _ in range(count):
+            dst = self.internet.random_telescope_address(rng)
+            payload = legacy_payload if legacy else self._pool.next_probe()
+            plen = len(payload)
+            records.append(
+                (t, src, dst, 28 + plen, 17, 1, src_port, 443, 0, plen, payload)
+            )
+            t += rng.expovariate(1.0 / self.mean_inter_packet_gap)
+            if rng.random() < self.pause_probability:
+                t += rng.uniform(45.0, self.pause_max)
+        return records
+
     def packets(self, start: float, end: float) -> Iterator[CapturedPacket]:
         """All bot scan packets in [start, end), time-sorted."""
         sessions = []
@@ -277,6 +343,18 @@ class BotScannerModel:
         for packet in merged:
             if start <= packet.timestamp < end:
                 yield packet
+
+    def records(self, start: float, end: float) -> Iterator[tuple]:
+        """``packets()`` as flat gen records (same draws, same order)."""
+        sessions = []
+        for session_start, bot in self.session_starts(start, end):
+            sessions.append(self.session_records(session_start, bot))
+        merged = sorted(
+            (r for session in sessions for r in session), key=lambda r: r[0]
+        )
+        for record in merged:
+            if start <= record[0] < end:
+                yield record
 
 
 @dataclass
@@ -343,3 +421,45 @@ class TcpScannerModel:
         for packet in merged:
             if start <= packet.timestamp < end:
                 yield packet
+
+    def records(self, start: float, end: float) -> Iterator[tuple]:
+        """``packets()`` as flat gen records (same draws, same order).
+
+        TCP gen records are 13-tuples: the lane's 11 fields (f3 carries
+        the flags) plus the wire-only seq/ack numbers.
+        """
+        from repro.net.tcp import TcpFlags
+
+        syn = int(TcpFlags.SYN)
+        peak = self.diurnal.peak_rate_factor()
+        rate = self.sessions_per_day / 86400.0 * peak
+        bots = self.internet.bot_hosts
+        if not bots:
+            return
+        sessions = []
+        t = start
+        while True:
+            t += self.rng.expovariate(rate)
+            if t >= end:
+                break
+            if self.rng.random() >= self.diurnal.factor(t) / peak:
+                continue
+            bot = self.rng.choice(bots)
+            port = self.rng.choice(self.target_ports)
+            count = max(1, int(self.rng.expovariate(1.0 / self.mean_packets_per_session)) + 1)
+            src_port = self.rng.randint(1024, 65535)
+            session = []
+            ts = t
+            src = bot.address
+            for _ in range(count):
+                dst = self.internet.random_telescope_address(self.rng)
+                seq = self.rng.randint(0, 2**32 - 1)
+                session.append(
+                    (ts, src, dst, 40, 6, 2, src_port, port, syn, 0, b"", seq, 0)
+                )
+                ts += self.rng.expovariate(0.8)
+            sessions.append(session)
+        merged = sorted((r for s in sessions for r in s), key=lambda r: r[0])
+        for record in merged:
+            if start <= record[0] < end:
+                yield record

@@ -12,11 +12,14 @@ statistics (durations, rates, session sizes) are at paper scale, event
 
 from __future__ import annotations
 
+import heapq
+import operator
 import time
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.net.packet import CapturedPacket
+from repro.telescope.genlane import lane_records
 from repro.util.batching import batched
 from repro.util.rng import SeededRng
 from repro.util.timeutil import APRIL_1_2021, DAY
@@ -158,6 +161,69 @@ class Scenario:
         if self.config.include_stray:
             streams.append(self._stray.packets(start, end))
         return self.telescope.capture(merge_streams(*streams))
+
+    def record_units(self) -> list:
+        """Per-actor gen-record iterators, one per *generation unit*.
+
+        The unit order is load-bearing: the serial rich path is a merge
+        of per-source streams (with the attack stream itself a merge of
+        per-flood streams), and ``heapq.merge`` breaks timestamp ties
+        toward the earlier iterator.  Flattening that nested merge into
+        one merge over these units — research sweeps, bots, TCP scans,
+        each flood in plan order, misconfig, stray — preserves the
+        lexicographic tie-break exactly, so ``records()`` (and the
+        sharded ``telescope/parallel.py`` path, which merges by
+        ``(timestamp, unit index)``) reproduces ``packets()`` order bit
+        for bit.
+        """
+        start, end = self.config.start, self.config.end
+        units = []
+        if self.config.include_research:
+            units.extend(model.records(start, end) for model in self._research)
+        if self.config.include_bots:
+            units.append(self._bots.records(start, end))
+        if self.config.include_tcp_scans:
+            units.append(self._tcp_scans.records(start, end))
+        if self.config.include_attacks:
+            units.extend(
+                self._attack_traffic.flood_records(flood)
+                for flood in self.plan.all_floods
+            )
+        if self.config.include_misconfig:
+            units.append(self._misconfig.records(start, end))
+        if self.config.include_stray:
+            units.append(self._stray.records(start, end))
+        return units
+
+    def records(self, workers: int = 1) -> Iterator[tuple]:
+        """The capture as flat gen records — the generation fast lane.
+
+        Same packets as :meth:`packets` (same seeds, same draws, same
+        order), emitted as ``genlane`` record tuples instead of
+        :class:`CapturedPacket` objects.  ``workers > 1`` shards the
+        units across processes and k-way-merges the results back into
+        the identical serial order (see :mod:`repro.telescope.parallel`);
+        the telescope filter always runs here in the parent, so
+        counters and metrics match the serial path.
+        """
+        if workers > 1:
+            from repro.telescope.parallel import generate_records
+
+            return self.telescope.capture_records(generate_records(self, workers))
+        merged = heapq.merge(*self.record_units(), key=operator.itemgetter(0))
+        return self.telescope.capture_records(merged)
+
+    def lane_batches(
+        self, batch_size: int = 512, workers: int = 1
+    ) -> Iterator[list]:
+        """Batched 11-field lane records for the analysis batch lane.
+
+        The fused generate→analyze feed:
+        ``QuicsandPipeline.process_record_batches`` consumes these
+        directly, skipping wire serialization *and* dissection-side
+        parsing entirely.
+        """
+        return batched(lane_records(self.records(workers)), batch_size)
 
     def packet_batches(self, batch_size: int = 512) -> Iterator[list]:
         """The capture as time-ordered batches.

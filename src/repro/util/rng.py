@@ -36,6 +36,7 @@ class SeededRng:
     def __init__(self, seed: int, label: str = "root") -> None:
         self.seed = seed
         self.label = label
+        self._split_labels: set[str] = set()
         rng = self._random = random.Random(seed)
         # Per-draw delegates are bound once instead of defined as
         # wrapper methods: the generators draw tens of thousands of
@@ -44,6 +45,7 @@ class SeededRng:
         # stay identical.
         self.random = rng.random
         self.randint = rng.randint
+        self.getrandbits = rng.getrandbits
         self.uniform = rng.uniform
         self.expovariate = rng.expovariate
         self.lognormvariate = rng.lognormvariate
@@ -55,6 +57,26 @@ class SeededRng:
     def child(self, label: str) -> "SeededRng":
         """Return an independent generator derived from this one's seed."""
         return SeededRng(derive_seed(self.seed, label), label)
+
+    def split(self, label: str) -> "SeededRng":
+        """Split off an independent child stream, refusing label reuse.
+
+        The derivation is identical to :meth:`child` — seed-based, so the
+        child's stream depends only on ``(parent seed, label)``, never on
+        how many draws the parent (or any sibling) has made.  The extra
+        contract over ``child`` is that splitting the *same* label twice
+        from one parent raises, which catches the one way two components
+        can accidentally end up sharing a stream.  Sharded generation
+        leans on this: every worker re-splits the same labels from the
+        same scenario seed and provably gets the same streams.
+        """
+        if label in self._split_labels:
+            raise ValueError(
+                f"label {label!r} already split from {self.label!r}; "
+                "reusing it would alias two random streams"
+            )
+        self._split_labels.add(label)
+        return self.child(label)
 
     # -- remaining delegating helpers --------------------------------------
 

@@ -21,6 +21,7 @@ INSTRUMENTED_MODULES = (
     "repro.stream.feeds",
     "repro.stream.sketch.tier",
     "repro.telescope.telescope",
+    "repro.telescope.genlane",
     "repro.telescope.backscatter",
     "repro.telescope.scanners",
     "repro.quic.crypto",

@@ -116,6 +116,8 @@ def test_disabled_template_cache_reports_zero_hits(metrics_on, monkeypatch):
     for cache in (backscatter._RESPONSE_TEMPLATES, scanners._INITIAL_TEMPLATES):
         cache.hits = cache.misses = 0
         cache._cache.clear()
+    backscatter._INITIAL_SEALERS.clear()
+    backscatter._INITIAL_SEALER_STATS.update(hits=0, misses=0)
 
     scenario = Scenario(
         ScenarioConfig(duration=0.5 * HOUR, research_sample=1.0 / 2048)

@@ -36,6 +36,37 @@ def test_distinct_labels_give_distinct_streams():
     ]
 
 
+def test_split_stream_independent_of_parent_draw_order():
+    # A split child's stream depends only on (parent seed, label) —
+    # draws made on the parent before or after the split, or on other
+    # splits, must not perturb it.
+    root1 = SeededRng(21)
+    _ = [root1.random() for _ in range(50)]
+    _ = root1.split("noise").randbytes(64)
+    floods1 = root1.split("floods")
+    seq1 = [floods1.randint(0, 10**9) for _ in range(5)]
+
+    floods2 = SeededRng(21).split("floods")
+    seq2 = [floods2.randint(0, 10**9) for _ in range(5)]
+    assert seq1 == seq2
+
+
+def test_split_matches_child_derivation():
+    assert SeededRng(8).split("x").randbytes(16) == SeededRng(8).child(
+        "x"
+    ).randbytes(16)
+
+
+def test_split_rejects_label_reuse():
+    root = SeededRng(5)
+    root.split("floods")
+    with pytest.raises(ValueError, match="already split"):
+        root.split("floods")
+    # child() keeps its permissive contract, and other labels are fine
+    root.child("floods")
+    root.split("scans")
+
+
 def test_derive_seed_stable():
     assert derive_seed(5, "foo") == derive_seed(5, "foo")
     assert derive_seed(5, "foo") != derive_seed(5, "bar")
