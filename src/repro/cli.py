@@ -11,6 +11,11 @@ Commands mirror the workflow of the paper's toolchain:
 - ``watch``    — online monitor: stream a live simulator feed or a
   tail-followed pcap through the incremental analyzer, printing flood
   alerts as they fire (see :mod:`repro.stream`);
+- ``federate`` — multi-telescope federation: run K vantages over tiles
+  of the telescope prefix (in-process over a file spool, or
+  distributed via ``--listen``/``--connect`` sockets) and merge their
+  states into one global report with cross-telescope flood dedup (see
+  :mod:`repro.federate` and ``docs/FEDERATION.md``);
 - ``table1``   — run the NGINX DoS-resiliency benchmark (Table 1);
 - ``probe``    — actively probe census servers for RETRY (Section 6);
 - ``profile``  — cProfile the generation and analysis hot paths and
@@ -163,8 +168,83 @@ def _build_parser() -> argparse.ArgumentParser:
     _metrics_arg(watch)
     _faults_args(watch)
 
+    federate = sub.add_parser(
+        "federate",
+        help="run K telescope vantages and merge them into a global report",
+        description="Multi-telescope federation: split the telescope "
+        "prefix into tiles, run one vantage per tile under the shared "
+        "scenario seed, and merge the vantage states into a global "
+        "result that is bit-identical to a single telescope over the "
+        "whole prefix. Default runs everything in-process over a file "
+        "spool; --listen/--connect distribute the roles over TCP. See "
+        "docs/FEDERATION.md.",
+    )
+    _scenario_args(federate)
+    federate.add_argument(
+        "--vantages",
+        type=int,
+        default=2,
+        help="number of vantage tiles (in-process and --listen modes)",
+    )
+    federate_role = federate.add_mutually_exclusive_group()
+    federate_role.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help="aggregator role: accept --vantages socket streams here "
+        "(port 0 picks a free port) instead of running in-process",
+    )
+    federate_role.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="vantage role: run one vantage and stream its frames to "
+        "the aggregator at this endpoint (retries with backoff)",
+    )
+    federate.add_argument(
+        "--spool",
+        metavar="DIR",
+        help="spool frames into this directory for the in-process run "
+        "(default: a temporary directory; kept for inspection when "
+        "given explicitly)",
+    )
+    federate.add_argument(
+        "--vantage-name",
+        default="vantage-0",
+        help="stream name for the --connect vantage role",
+    )
+    federate.add_argument(
+        "--prefix",
+        help="CIDR tile for the --connect vantage role (default: the "
+        "scenario's full telescope prefix)",
+    )
+    federate.add_argument(
+        "--sketch",
+        action="store_true",
+        help="vantages additionally run the constant-memory sketch "
+        "tier and ship it with their flood alert history (the global "
+        "result still merges from the exact states; see "
+        "docs/FEDERATION.md)",
+    )
+    federate.add_argument(
+        "--snapshot-every",
+        type=float,
+        default=3600.0,
+        help="event-seconds between interim cumulative state frames "
+        "(0 ships only the final state)",
+    )
+    federate.add_argument(
+        "--report-out", help="also write the federation report to a file"
+    )
+    _metrics_arg(federate)
+
     stats = sub.add_parser(
-        "stats", help="render a human summary of a --metrics-out JSON file"
+        "stats",
+        help="render a human summary of a --metrics-out JSON file",
+        description="Renders the JSON metric export written by "
+        "--metrics-out. Unrelated to the benchmark trajectory files: "
+        "benchmarks/out/BENCH_stream.json rows are trajectory schema 2 "
+        "(schema 1 plus tracemalloc peak columns) and "
+        "BENCH_pipeline.json rows are trajectory schema 3 — see "
+        "docs/METRICS.md for both schemas.",
     )
     stats.add_argument(
         "metrics",
@@ -621,6 +701,139 @@ def _profile_batch(args, stream, scenario, packets, profiler, generate_elapsed) 
     return 0
 
 
+def _parse_endpoint(text: str):
+    """``HOST:PORT`` → ``(host, port)``, or ``None`` on a bad value."""
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        return None
+    return host, int(port)
+
+
+def cmd_federate(args, stream) -> int:
+    from repro.federate import (
+        Aggregator,
+        FederationListener,
+        SocketSender,
+        SpoolWriter,
+        TransportError,
+        Vantage,
+        VantageConfig,
+        connect_with_retry,
+        tile_prefixes,
+    )
+    from repro.federate.vantage import EXACT, SKETCH_MODE
+
+    _maybe_enable_metrics(args)
+    if args.vantages < 1:
+        print("--vantages must be at least 1", file=stream)
+        return 2
+    scenario_config = ScenarioConfig(
+        seed=args.seed,
+        duration=args.hours * HOUR,
+        research_sample=args.research_sample,
+    )
+    analysis = AnalysisConfig()
+    mode = SKETCH_MODE if args.sketch else EXACT
+
+    if args.connect:
+        endpoint = _parse_endpoint(args.connect)
+        if endpoint is None:
+            print(f"bad --connect endpoint {args.connect!r}", file=stream)
+            return 2
+        vantage = Vantage(
+            VantageConfig(
+                name=args.vantage_name,
+                prefix=args.prefix,
+                mode=mode,
+                snapshot_every=args.snapshot_every,
+                scenario=scenario_config,
+                analysis=analysis,
+            )
+        )
+        try:
+            sock = connect_with_retry(*endpoint)
+        except TransportError as exc:
+            print(str(exc), file=stream)
+            return 2
+        with SocketSender(sock) as sender:
+            state = vantage.run(sender)
+        print(
+            f"vantage {args.vantage_name} "
+            f"[{vantage.scenario.telescope.prefix}]: shipped "
+            f"{vantage.frames_sent} frames ({state.total_packets:,} packets)",
+            file=stream,
+        )
+        _maybe_write_metrics(args, stream)
+        return 0
+
+    scenario = _scenario(args)
+    aggregator = Aggregator(
+        _pipeline(scenario), research_weight=scenario.truth.research_weight
+    )
+    if args.listen:
+        endpoint = _parse_endpoint(args.listen)
+        if endpoint is None:
+            print(f"bad --listen endpoint {args.listen!r}", file=stream)
+            return 2
+        try:
+            with FederationListener(*endpoint) as listener:
+                print(
+                    f"aggregator listening on {listener.host}:{listener.port} "
+                    f"for {args.vantages} vantage stream(s)",
+                    file=stream,
+                )
+                aggregator.consume_listener(listener, args.vantages)
+        except TransportError as exc:
+            print(str(exc), file=stream)
+            return 2
+    else:
+        cleanup = None
+        spool = args.spool
+        if spool is None:
+            import tempfile
+
+            cleanup = tempfile.TemporaryDirectory(prefix="repro-federate-")
+            spool = cleanup.name
+        tiles = tile_prefixes(str(scenario.telescope.prefix), args.vantages)
+        for index, tile in enumerate(tiles):
+            name = f"vantage-{index}"
+            vantage = Vantage(
+                VantageConfig(
+                    name=name,
+                    prefix=str(tile),
+                    mode=mode,
+                    snapshot_every=args.snapshot_every,
+                    scenario=scenario_config,
+                    analysis=analysis,
+                )
+            )
+            with SpoolWriter(spool, name) as writer:
+                vantage.run(writer)
+            print(
+                f"{name} [{tile}]: {vantage.frames_sent} frames spooled",
+                file=stream,
+            )
+        aggregator.consume_spool(spool)
+        if cleanup is None:
+            print(f"spool kept at {spool}", file=stream)
+        else:
+            cleanup.cleanup()
+    fed = aggregator.federate()
+    if fed.corrupt_frames:
+        print(
+            f"skipped {fed.corrupt_frames} corrupt federation frame(s)",
+            file=stream,
+        )
+    text = aggregator.report(fed)
+    print(text, file=stream)
+    if args.report_out:
+        with open(args.report_out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\nreport written to {args.report_out}", file=stream)
+    _maybe_write_metrics(args, stream)
+    return 0
+
+
 def cmd_table1(_args, stream) -> int:
     headers, rows = table1_rows(run_table1())
     print(format_table(headers, rows, title="Table 1 — NGINX DoS resiliency"), file=stream)
@@ -659,6 +872,7 @@ _COMMANDS = {
     "analyze": cmd_analyze,
     "report": cmd_report,
     "watch": cmd_watch,
+    "federate": cmd_federate,
     "table1": cmd_table1,
     "probe": cmd_probe,
     "profile": cmd_profile,

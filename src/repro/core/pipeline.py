@@ -29,6 +29,7 @@ and merging the partials reproduces the serial state exactly.  See
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -715,8 +716,18 @@ class PartialState:
                 if count:
                     _M_MALFORMED.inc(count, reason=reason)
 
-    def merge(self, other: "PartialState") -> None:
-        """Fold another shard's state into this one, in place."""
+    def merge_counts(self, other: "PartialState") -> None:
+        """Fold the purely additive fields of ``other`` into this one.
+
+        Everything except the sessionizers and the timeout sweep:
+        window bounds (min/max), packet/class/cache tallies, malformed
+        reasons, per-source and hourly counters.  These fields are
+        partition-agnostic — they merge correctly whether the stream
+        was split by source IP (``--workers``) or by destination
+        prefix (telescope federation, :mod:`repro.federate`), which is
+        why :meth:`merge` and the federation's overlap-aware merge
+        share this step.
+        """
         if other.window_start is not None:
             self.window_start = (
                 other.window_start
@@ -755,6 +766,17 @@ class PartialState:
             self.hourly_requests[hour] = self.hourly_requests.get(hour, 0) + count
         for hour, count in other.hourly_responses.items():
             self.hourly_responses[hour] = self.hourly_responses.get(hour, 0) + count
+
+    def merge(self, other: "PartialState") -> None:
+        """Fold another source-disjoint shard's state into this one.
+
+        The additive fields ride :meth:`merge_counts`; sessionizers and
+        the sweep use their disjoint-source merges (which raise if the
+        shards overlap — destination-partitioned vantage states go
+        through :func:`repro.federate.merge.merge_federated_states`
+        instead).
+        """
+        self.merge_counts(other)
         for packet_class, sessionizer in other.sessionizers.items():
             mine = self.sessionizers.get(packet_class)
             if mine is None:
@@ -762,6 +784,29 @@ class PartialState:
             else:
                 mine.merge(sessionizer)
         self.sweep.merge(other.sweep)
+
+    # -- snapshot/export hooks (telescope federation) --------------------
+
+    def snapshot_bytes(self) -> bytes:
+        """The state as a self-contained pickle for wire shipment.
+
+        Open sessions, the sweep, and every counter travel; callbacks
+        are ``None`` by construction on pipeline-owned sessionizers, so
+        the pickle is always loadable on the aggregator side.  The
+        federation protocol wraps these bytes in checksummed frames
+        (:mod:`repro.federate.protocol`).
+        """
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_snapshot_bytes(cls, payload: bytes) -> "PartialState":
+        """Rehydrate a state shipped by :meth:`snapshot_bytes`."""
+        state = pickle.loads(payload)
+        if not isinstance(state, cls):
+            raise TypeError(
+                f"snapshot payload is {type(state).__name__}, not {cls.__name__}"
+            )
+        return state
 
     def canonicalize(self) -> None:
         """Put all ordering-sensitive state into canonical order.

@@ -323,6 +323,84 @@ class Sessionizer:
         return len(self.closed) + len(self._open)
 
 
+def _clone_session(session: Session) -> Session:
+    """A deep-enough copy for federated joining (fresh sets/dicts)."""
+    return Session(
+        source=session.source,
+        traffic_class=session.traffic_class,
+        first_ts=session.first_ts,
+        last_ts=session.last_ts,
+        packet_count=session.packet_count,
+        byte_count=session.byte_count,
+        dst_ips=set(session.dst_ips),
+        dst_ports=set(session.dst_ports),
+        scids=set(session.scids),
+        message_types=dict(session.message_types),
+        minute_slots=dict(session.minute_slots),
+        retry_packets=session.retry_packets,
+        version_names=dict(session.version_names),
+    )
+
+
+def _absorb_session(target: Session, other: Session) -> None:
+    """Fold a later (or overlapping) fragment into ``target`` in place."""
+    target.first_ts = min(target.first_ts, other.first_ts)
+    target.last_ts = max(target.last_ts, other.last_ts)
+    target.packet_count += other.packet_count
+    target.byte_count += other.byte_count
+    target.retry_packets += other.retry_packets
+    target.dst_ips |= other.dst_ips
+    target.dst_ports |= other.dst_ports
+    target.scids |= other.scids
+    for name, count in other.message_types.items():
+        target.message_types[name] = target.message_types.get(name, 0) + count
+    for slot, count in other.minute_slots.items():
+        target.minute_slots[slot] = target.minute_slots.get(slot, 0) + count
+    for name, count in other.version_names.items():
+        target.version_names[name] = target.version_names.get(name, 0) + count
+
+
+def chain_merge_sessions(sessions: Iterable[Session], timeout: float) -> list:
+    """Re-join session fragments from destination-partitioned captures.
+
+    Telescope *federation* partitions the stream by destination prefix,
+    so — unlike source-IP sharding — the same source appears in several
+    partitions and each vantage sees only a sub-sequence of its
+    packets.  Every fragment still has internal gaps <= ``timeout``,
+    which means no union-stream session boundary can fall strictly
+    inside a fragment's ``[first_ts, last_ts]`` span: a boundary is a
+    gap > ``timeout`` in the union, and any such gap is at least as
+    large in every sub-sequence that brackets it.  Sorting a source's
+    fragments by ``first_ts`` and joining whenever
+    ``next.first_ts - current.last_ts <= timeout`` therefore rebuilds
+    exactly the sessions a serial run over the union stream produces;
+    the per-session statistics are sums/unions, so the rebuilt
+    :class:`Session` objects compare equal to the serial ones
+    (``tests/test_federation_equivalence.py`` pins this bit for bit).
+
+    Returns new sessions in canonical ``(first_ts, source)`` order;
+    the inputs are not mutated.
+    """
+    groups: dict = {}
+    for session in sessions:
+        groups.setdefault((session.source, session.traffic_class), []).append(
+            session
+        )
+    merged: list = []
+    for fragments in groups.values():
+        fragments.sort(key=lambda s: (s.first_ts, s.last_ts))
+        current = _clone_session(fragments[0])
+        for fragment in fragments[1:]:
+            if fragment.first_ts - current.last_ts <= timeout:
+                _absorb_session(current, fragment)
+            else:
+                merged.append(current)
+                current = _clone_session(fragment)
+        merged.append(current)
+    merged.sort(key=lambda s: (s.first_ts, s.source))
+    return merged
+
+
 class TimeoutSweep:
     """Figure 4: number of sessions as a function of the timeout.
 
@@ -425,3 +503,52 @@ class TimeoutSweep:
             if (s1 - s2) / excess < threshold:
                 return m1
         return series[-1][0]
+
+
+class RecordingSweep(TimeoutSweep):
+    """A :class:`TimeoutSweep` that also retains per-source timestamps.
+
+    Gap *values* are enough to merge source-disjoint shards, but not
+    destination-partitioned vantages: the union stream's gaps are
+    differences of interleaved timestamps from several partitions, and
+    floats don't let us reconstruct timestamps from gaps
+    (``t1 + (t2 - t1) != t2`` in general).  Keeping the observed
+    timestamps — the same asymptotic cost as the gap lists — lets
+    :func:`merge_recorded_sweeps` rebuild the union sweep exactly.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._timestamps: dict[int, list] = {}
+
+    def observe(self, source: int, timestamp: float) -> None:
+        self._timestamps.setdefault(source, []).append(timestamp)
+        super().observe(source, timestamp)
+
+
+def merge_recorded_sweeps(sweeps: Iterable["RecordingSweep"]) -> TimeoutSweep:
+    """Rebuild the single-stream sweep from per-vantage recorded sweeps.
+
+    Per source, the union of the vantages' timestamp lists (a sorted
+    multiset merge, duplicates kept) is exactly the timestamp sequence
+    a serial sweep over the union stream observes, so replaying it
+    through :meth:`TimeoutSweep.observe` reproduces the serial gap
+    multiset bit for bit — the same float subtractions on the same
+    values.  Returns a plain :class:`TimeoutSweep` ready for
+    ``exclude_sources`` / ``sessions_at``.
+    """
+    per_source: dict[int, list] = {}
+    for sweep in sweeps:
+        if not isinstance(sweep, RecordingSweep):
+            raise TypeError("federated sweep merge needs RecordingSweep inputs")
+        if sweep._excluded:
+            raise ValueError("merge recorded sweeps before excluding sources")
+        for source, stamps in sweep._timestamps.items():
+            per_source.setdefault(source, []).extend(stamps)
+    merged = TimeoutSweep()
+    for source, stamps in per_source.items():
+        stamps.sort()
+        observe = merged.observe
+        for timestamp in stamps:
+            observe(source, timestamp)
+    return merged

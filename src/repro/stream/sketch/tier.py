@@ -452,6 +452,67 @@ class SketchTier:
                 self.hourly_responses.get(hour, 0) + count
             )
 
+    def merge_federated(self, other: "SketchTier") -> None:
+        """Fold a *destination-partitioned* vantage's tier into this one.
+
+        Telescope federation splits the stream by destination prefix,
+        so the same source/victim legitimately appears in several
+        tiers — the disjoint-source precondition of :meth:`merge` does
+        not hold.  The mergeable structures stay exact or
+        conservative: count-min rows add (the merged estimate is an
+        upper bound on the union count), HLL registers max (*exactly*
+        the union cardinality sketch), space-saving summaries
+        union-and-truncate, hourly buckets add (exact).  Live episodes
+        for the same victim are joined with the sessionizer gap rule —
+        span-union when the fragments overlap or sit within the
+        timeout, else the later fragment wins — an *approximation*
+        (episode packet counts are lower-bound deltas and cannot be
+        reconstructed across partitions), which is why federated
+        vantages ship their alert/ended event lists alongside the tier
+        and the aggregator dedups floods on those events, not on
+        episode state (see docs/FEDERATION.md).
+        """
+        if (self.width, self.depth, self.capacity, self.precision, self.seed) != (
+            other.width,
+            other.depth,
+            other.capacity,
+            other.precision,
+            other.seed,
+        ):
+            raise ValueError("sketch tier merge needs identical sizing + seed")
+        self.packet_counts.merge(other.packet_counts)
+        self.byte_counts.merge(other.byte_counts)
+        self.sources.merge(other.sources)
+        self.victims.merge(other.victims)
+        for vector in VECTORS:
+            self.heavy[vector].merge(other.heavy[vector])
+            mine = self._episodes[vector]
+            for victim, episode in other._episodes[vector].items():
+                current = mine.get(victim)
+                if current is None:
+                    mine[victim] = episode
+                    continue
+                first, second = (
+                    (current, episode)
+                    if current.first_ts <= episode.first_ts
+                    else (episode, current)
+                )
+                if second.first_ts - first.last_ts <= self.timeout:
+                    first.last_ts = max(first.last_ts, second.last_ts)
+                    first.max_minute = max(first.max_minute, second.max_minute)
+                    first.alerted = first.alerted or second.alerted
+                    mine[victim] = first
+                else:
+                    mine[victim] = second
+        for hour, count in other.hourly_requests.items():
+            self.hourly_requests[hour] = (
+                self.hourly_requests.get(hour, 0) + count
+            )
+        for hour, count in other.hourly_responses.items():
+            self.hourly_responses[hour] = (
+                self.hourly_responses.get(hour, 0) + count
+            )
+
     def __getstate__(self):
         state = dict(self.__dict__)
         state["on_alert"] = None  # analyzer-bound callbacks don't travel

@@ -144,6 +144,26 @@ class Scenario:
             bot_sources=frozenset(b.address for b in self.internet.bot_hosts),
         )
 
+    def retarget(self, prefix) -> None:
+        """Narrow the capture tap to a sub-prefix of the telescope net.
+
+        Telescope federation (:mod:`repro.federate`) runs K vantages
+        over the *same* scenario seed, each capturing one tile of the
+        /9: the generated Internet traffic is identical, only the tap
+        filter differs, so the vantage captures partition the
+        single-telescope capture exactly.  ``prefix`` is an
+        :class:`~repro.net.addresses.IPv4Network` or CIDR string and
+        must lie inside the scenario's telescope prefix.
+        """
+        from repro.net.addresses import IPv4Network
+
+        if isinstance(prefix, str):
+            prefix = IPv4Network.from_cidr(prefix)
+        net = self.internet.telescope_net
+        if prefix.network & net.netmask != net.network or prefix.prefix_len < net.prefix_len:
+            raise ValueError(f"{prefix} is not inside telescope prefix {net}")
+        self.telescope = Telescope(prefix)
+
     def packets(self) -> Iterator[CapturedPacket]:
         """The telescope's merged capture for the whole window."""
         start, end = self.config.start, self.config.end

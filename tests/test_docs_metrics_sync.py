@@ -26,6 +26,8 @@ INSTRUMENTED_MODULES = (
     "repro.telescope.scanners",
     "repro.quic.crypto",
     "repro.faults.inject",
+    "repro.federate.protocol",
+    "repro.federate.aggregate",
 )
 
 ROW = re.compile(

@@ -1,0 +1,280 @@
+"""Federation wire protocol and transports: framing, damage, spool,
+sockets.
+
+The contract under test is the lenient skip-and-count one the pcap
+reader established: a receiver **never raises** on wire damage — bad
+magic resyncs, bad checksums skip, truncation counts — and every
+recoverable corruption costs exactly one ``corrupt_frames`` tick.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.faults import corrupt_frame_bytes
+from repro.federate.protocol import (
+    BYE,
+    FINAL_STATE,
+    FRAME_KINDS,
+    HEADER_SIZE,
+    HELLO,
+    MAGIC,
+    PROTOCOL_VERSION,
+    SCHEMA_VERSION,
+    STATE,
+    Frame,
+    FrameDecoder,
+    ProtocolError,
+    bye_frame,
+    decode_frames,
+    encode_frame,
+    hello_frame,
+    pickle_frame,
+)
+from repro.federate.transport import (
+    FederationListener,
+    SocketSender,
+    SpoolReader,
+    SpoolWriter,
+    TransportError,
+    connect_with_retry,
+)
+from repro.util.rng import SeededRng
+
+
+def sample_frames():
+    return [
+        hello_frame("v0", "44.0.0.0/10", "exact", 0),
+        encode_frame(STATE, b"interim" * 40, 1),
+        pickle_frame(FINAL_STATE, {"total": 123}, 2),
+        bye_frame(3, 123, 3),
+    ]
+
+
+# -- framing ---------------------------------------------------------------
+
+
+def test_roundtrip_all_kinds():
+    for seq, kind in enumerate(FRAME_KINDS):
+        frames, corrupt = decode_frames(encode_frame(kind, b"payload", seq))
+        assert corrupt == 0
+        assert frames == [Frame(kind=kind, seq=seq, payload=b"payload")]
+
+
+def test_roundtrip_stream_and_json_payloads():
+    frames, corrupt = decode_frames(b"".join(sample_frames()))
+    assert corrupt == 0
+    assert [f.kind for f in frames] == [HELLO, STATE, FINAL_STATE, BYE]
+    hello = frames[0].json()
+    assert hello == {
+        "schema": SCHEMA_VERSION,
+        "vantage": "v0",
+        "prefix": "44.0.0.0/10",
+        "mode": "exact",
+    }
+    assert frames[2].unpickle() == {"total": 123}
+    assert frames[3].json() == {"frames": 3, "packets": 123}
+
+
+def test_encode_rejects_unknown_kind():
+    with pytest.raises(ProtocolError):
+        encode_frame("no-such-kind", b"")
+
+
+def test_byte_at_a_time_chunking():
+    decoder = FrameDecoder()
+    out = []
+    for blob in sample_frames():
+        for i in range(len(blob)):
+            out.extend(decoder.feed(blob[i : i + 1]))
+    decoder.finish()
+    assert [f.kind for f in out] == [HELLO, STATE, FINAL_STATE, BYE]
+    assert decoder.corrupt_frames == 0
+
+
+# -- damage: count and skip, never raise -----------------------------------
+
+
+def test_garbage_prefix_resyncs_counting_one():
+    frames, corrupt = decode_frames(b"not frames at all" + sample_frames()[0])
+    assert [f.kind for f in frames] == [HELLO]
+    assert corrupt == 1
+
+
+def test_garbage_run_chunked_counts_once():
+    decoder = FrameDecoder()
+    out = []
+    for chunk in (b"junk" * 10, b"more junk", sample_frames()[0]):
+        out.extend(decoder.feed(chunk))
+    decoder.finish()
+    assert [f.kind for f in out] == [HELLO]
+    assert decoder.corrupt_frames == 1
+
+
+def test_bad_version_skips_frame():
+    blob = bytearray(b"".join(sample_frames()))
+    blob[4] = 0xFF  # protocol version of the hello frame
+    frames, corrupt = decode_frames(bytes(blob))
+    assert [f.kind for f in frames] == [STATE, FINAL_STATE, BYE]
+    assert corrupt == 1
+
+
+def test_bad_checksum_skips_declared_frame():
+    first, rest = sample_frames()[0], b"".join(sample_frames()[1:])
+    blob = bytearray(first + rest)
+    blob[HEADER_SIZE] ^= 0xFF  # first payload byte of hello
+    frames, corrupt = decode_frames(bytes(blob))
+    assert [f.kind for f in frames] == [STATE, FINAL_STATE, BYE]
+    assert corrupt == 1
+
+
+def test_truncated_tail_counts_one():
+    blob = b"".join(sample_frames())
+    frames, corrupt = decode_frames(blob[:-5])
+    assert [f.kind for f in frames] == [HELLO, STATE, FINAL_STATE]
+    assert corrupt == 1
+
+
+def test_truncated_header_counts_one():
+    frames, corrupt = decode_frames(sample_frames()[0][: HEADER_SIZE - 3])
+    assert frames == []
+    assert corrupt == 1
+
+
+def test_corrupt_frame_bytes_count_matches_decoder():
+    """Every damage corrupt_frame_bytes applies costs exactly one tick."""
+    blob = b"".join(sample_frames() * 5)
+    damaged, expected = corrupt_frame_bytes(blob, SeededRng(7), rate=0.5)
+    assert expected > 0
+    frames, corrupt = decode_frames(damaged)
+    assert corrupt == expected
+    assert len(frames) == 20 - expected
+
+
+def test_corrupt_frame_bytes_spares_kinds():
+    blob = b"".join(sample_frames() * 3)
+    damaged, n = corrupt_frame_bytes(
+        blob,
+        SeededRng(3),
+        rate=1.0,
+        spare_kinds=(HELLO, FINAL_STATE, BYE),
+    )
+    assert n == 3  # only the three state frames were eligible
+    frames, corrupt = decode_frames(damaged)
+    assert corrupt == 3
+    assert [f.kind for f in frames] == [HELLO, FINAL_STATE, BYE] * 3
+
+
+def test_magic_never_raises_fuzz():
+    """Arbitrary byte soup through the decoder: no exception, ever."""
+    rng = SeededRng(99, "fuzz")
+    decoder = FrameDecoder()
+    for _ in range(50):
+        blob = rng.randbytes(rng.randint(1, 300))
+        list(decoder.feed(blob))
+    decoder.finish()
+    # sanity: the decoder is still usable afterwards
+    frames = list(decoder.feed(sample_frames()[0]))
+    assert [f.kind for f in frames] == [HELLO]
+
+
+# -- spool transport -------------------------------------------------------
+
+
+def test_spool_roundtrip(tmp_path):
+    for name in ("v1", "v0"):
+        with SpoolWriter(str(tmp_path), name) as writer:
+            for blob in sample_frames():
+                writer.send(blob)
+        assert writer.frames_written == 4
+    reader = SpoolReader(str(tmp_path))
+    assert reader.stream_names() == ["v0", "v1"]
+    streams = dict(reader.streams())
+    assert set(streams) == {"v0", "v1"}
+    for frames in streams.values():
+        assert [f.kind for f in frames] == [HELLO, STATE, FINAL_STATE, BYE]
+    assert reader.corrupt_frames == 0
+
+
+def test_spool_reader_skips_damage(tmp_path):
+    with SpoolWriter(str(tmp_path), "damaged") as writer:
+        for blob in sample_frames():
+            writer.send(blob)
+    path = tmp_path / "damaged.qsf"
+    blob = bytearray(path.read_bytes())
+    blob[4] = 0xFF
+    path.write_bytes(bytes(blob))
+    reader = SpoolReader(str(tmp_path))
+    frames = reader.read_stream("damaged")
+    assert [f.kind for f in frames] == [STATE, FINAL_STATE, BYE]
+    assert reader.corrupt_frames == 1
+
+
+def test_spool_reader_missing_directory():
+    with pytest.raises(TransportError):
+        SpoolReader("/nonexistent/spool/dir").stream_names()
+
+
+# -- socket transport ------------------------------------------------------
+
+
+def _listener_or_skip():
+    try:
+        return FederationListener("127.0.0.1", 0)
+    except TransportError as exc:  # pragma: no cover - sandboxed CI
+        pytest.skip(f"cannot bind a localhost socket: {exc}")
+
+
+def test_socket_pair_roundtrip():
+    listener = _listener_or_skip()
+    with listener:
+        received = []
+
+        def serve():
+            received.extend(listener.accept_stream())
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        sock = connect_with_retry("127.0.0.1", listener.port, attempts=3)
+        with SocketSender(sock) as sender:
+            for blob in sample_frames():
+                sender.send(blob)
+        thread.join(timeout=10)
+    assert [f.kind for f in received] == [HELLO, STATE, FINAL_STATE, BYE]
+    assert listener.corrupt_frames == 0
+
+
+def test_connect_retry_backoff_then_error():
+    # a port nothing listens on: grab one, then close it
+    probe = socket.socket()
+    try:
+        probe.bind(("127.0.0.1", 0))
+    except OSError as exc:  # pragma: no cover - sandboxed CI
+        pytest.skip(f"cannot bind a localhost socket: {exc}")
+    port = probe.getsockname()[1]
+    probe.close()
+    delays = []
+    with pytest.raises(TransportError):
+        connect_with_retry(
+            "127.0.0.1", port, attempts=4, base_delay=0.01, sleep=delays.append
+        )
+    # three sleeps between four attempts, exponentially growing jittered
+    assert len(delays) == 3
+    assert all(d > 0 for d in delays)
+    assert delays[1] > delays[0] * 0.9  # growth despite jitter in [0.5, 1)
+
+
+def test_connect_retry_is_seeded():
+    delays_a, delays_b = [], []
+    for sink in (delays_a, delays_b):
+        with pytest.raises(TransportError):
+            connect_with_retry(
+                "127.0.0.1",
+                1,  # port 1: never connectable, stable across runs
+                attempts=3,
+                base_delay=0.01,
+                sleep=sink.append,
+            )
+    assert delays_a == delays_b
+    assert len(delays_a) == 2
