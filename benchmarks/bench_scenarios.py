@@ -1,0 +1,164 @@
+"""Scenario-matrix throughput: every registered scenario, gen + analyze.
+
+Engineering benchmark for the :data:`repro.telescope.presets.SCENARIOS`
+registry (not a paper figure).  Every registered scenario — the four
+isolated IBR classes and each adversarial family — is generated and
+analyzed once, and we report
+
+- generation throughput (captured packets per second of wall clock);
+- analysis throughput (pipeline packets per second over the captured
+  stream, so the two timings share the exact same input);
+- the registry size itself, so scenario count becomes a tracked axis
+  alongside throughput — a new scenario that tanks the matrix shows up
+  in the trajectory, not just in CI wall-clock.
+
+Results append to the ``benchmarks/out/BENCH_scenarios.json``
+trajectory.  ``REPRO_BENCH_QUICK=1`` shrinks the windows for CI and
+skips the append.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core import QuicsandPipeline
+from repro.telescope import Scenario
+from repro.telescope.presets import (
+    adversarial_scenario_names,
+    get_scenario,
+    scenario_config,
+    scenario_names,
+)
+from repro.util.timeutil import HOUR
+
+TRAJECTORY = Path(__file__).parent / "out" / "BENCH_scenarios.json"
+TRAJECTORY_SCHEMA = 1
+#: every key a schema-1 row carries; older rows are backfilled with
+#: nulls so consumers can index columns without per-row key checks.
+TRAJECTORY_KEYS = (
+    "unix_time",
+    "scenario_count",
+    "adversarial_count",
+    "packets",
+    "gen_seconds",
+    "analyze_seconds",
+    "gen_pps",
+    "analyze_pps",
+    "rows",
+)
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+#: quick mode shrinks every scenario window to a common short slice;
+#: full mode runs each preset at its registered duration.
+QUICK_DURATION = HOUR / 6
+
+
+def _append_trajectory(record):
+    TRAJECTORY.parent.mkdir(exist_ok=True)
+    runs = []
+    if TRAJECTORY.exists():
+        try:
+            runs = json.loads(TRAJECTORY.read_text()).get("runs", [])
+        except (ValueError, AttributeError):
+            runs = []
+    runs.append(record)
+    # normalize: every row carries the full schema-1 key set, extra
+    # keys from future revisions are preserved as-is
+    runs = [
+        {**{key: run.get(key) for key in TRAJECTORY_KEYS}, **run} for run in runs
+    ]
+    TRAJECTORY.write_text(
+        json.dumps({"schema": TRAJECTORY_SCHEMA, "runs": runs}, indent=2) + "\n"
+    )
+
+
+def _bench_one(name):
+    config = (
+        scenario_config(name, duration=QUICK_DURATION)
+        if QUICK
+        else scenario_config(name)
+    )
+    scenario = Scenario(config)
+
+    t0 = time.perf_counter()
+    packets = list(scenario.packets())
+    gen_seconds = time.perf_counter() - t0
+
+    pipeline = QuicsandPipeline(
+        registry=scenario.internet.registry,
+        census=scenario.internet.census,
+        greynoise=scenario.internet.greynoise,
+    )
+    t0 = time.perf_counter()
+    result = pipeline.process(iter(packets))
+    analyze_seconds = time.perf_counter() - t0
+
+    return {
+        "scenario": name,
+        "adversarial": get_scenario(name).adversarial,
+        "packets": len(packets),
+        "attacks": len(result.quic_attacks) + len(result.common_attacks),
+        "gen_seconds": round(gen_seconds, 4),
+        "analyze_seconds": round(analyze_seconds, 4),
+        "gen_pps": round(len(packets) / gen_seconds) if gen_seconds else 0,
+        "analyze_pps": (
+            round(len(packets) / analyze_seconds) if analyze_seconds else 0
+        ),
+    }
+
+
+def test_scenario_matrix_throughput(emit):
+    names = scenario_names()
+    adversarial = adversarial_scenario_names()
+    # the registry is the tracked axis: the matrix must keep covering
+    # the IBR classes and at least the five adversarial families
+    assert len(adversarial) >= 5, adversarial
+    assert len(names) >= len(adversarial) + 4, names
+
+    rows = [_bench_one(name) for name in names]
+    packets_total = sum(row["packets"] for row in rows)
+    gen_total = sum(row["gen_seconds"] for row in rows)
+    analyze_total = sum(row["analyze_seconds"] for row in rows)
+    assert packets_total > 0
+    assert all(row["packets"] > 0 for row in rows), rows
+
+    lines = [
+        f"scenarios: {len(names)} registered ({len(adversarial)} "
+        f"adversarial)  mode: {'quick' if QUICK else 'full'}  "
+        f"packets: {packets_total:,}",
+        f"{'scenario':>18}  {'adv':>3}  {'packets':>8}  {'attacks':>7}  "
+        f"{'gen pps':>9}  {'analyze pps':>11}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['scenario']:>18}  {'yes' if row['adversarial'] else '':>3}  "
+            f"{row['packets']:>8,}  {row['attacks']:>7}  "
+            f"{row['gen_pps']:>9,}  {row['analyze_pps']:>11,}"
+        )
+    lines.append(
+        f"totals: generate {gen_total:.2f} s, analyze {analyze_total:.2f} s "
+        f"({packets_total / (gen_total + analyze_total):,.0f} pps end to end)"
+    )
+    emit("scenario_matrix", "\n".join(lines))
+
+    if not QUICK:
+        _append_trajectory(
+            {
+                "unix_time": round(time.time()),
+                "scenario_count": len(names),
+                "adversarial_count": len(adversarial),
+                "packets": packets_total,
+                "gen_seconds": round(gen_total, 4),
+                "analyze_seconds": round(analyze_total, 4),
+                "gen_pps": (
+                    round(packets_total / gen_total) if gen_total else 0
+                ),
+                "analyze_pps": (
+                    round(packets_total / analyze_total)
+                    if analyze_total
+                    else 0
+                ),
+                "rows": rows,
+            }
+        )

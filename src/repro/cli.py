@@ -23,6 +23,12 @@ Commands mirror the workflow of the paper's toolchain:
 - ``stats``    — render the human summary of a metrics JSON file
   written by ``--metrics-out`` (see :mod:`repro.obs`).
 
+Every scenario-driven command accepts ``--scenario NAME`` to start
+from a preset in the named-scenario registry (the four isolated IBR
+classes and the adversarial workloads — see ``docs/SCENARIOS.md``);
+``--seed``/``--hours``/``--research-sample`` still override the preset
+when given explicitly.
+
 ``analyze``, ``report`` and ``watch`` accept ``--metrics-out FILE``:
 it enables the observability registry for the run and writes both the
 Prometheus text exposition and the JSON export next to each other
@@ -37,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Optional
 
 from repro import obs
@@ -48,6 +55,8 @@ from repro.net.addresses import format_ipv4
 from repro.net.pcap import PcapReader
 from repro.server import run_table1, table1_rows
 from repro.telescope import Scenario, ScenarioConfig
+from repro.telescope.presets import scenario_names
+from repro.telescope.presets import scenario_config as _named_scenario_config
 from repro.util.render import format_table
 from repro.util.rng import SeededRng
 from repro.util.timeutil import HOUR
@@ -284,13 +293,30 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: the _scenario_args defaults — a named --scenario keeps its preset
+#: knobs unless the flag was moved off its default explicitly.
+_SCENARIO_ARG_DEFAULTS = dict(seed=20210401, hours=6.0, research_sample=1 / 256)
+
+
 def _scenario_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--seed", type=int, default=20210401)
-    parser.add_argument("--hours", type=float, default=6.0)
+    parser.add_argument(
+        "--scenario",
+        choices=scenario_names(),
+        metavar="NAME",
+        help="start from a named scenario preset (IBR classes and "
+        f"adversarial workloads, see docs/SCENARIOS.md): "
+        f"{', '.join(scenario_names())}",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=_SCENARIO_ARG_DEFAULTS["seed"]
+    )
+    parser.add_argument(
+        "--hours", type=float, default=_SCENARIO_ARG_DEFAULTS["hours"]
+    )
     parser.add_argument(
         "--research-sample",
         type=float,
-        default=1 / 256,
+        default=_SCENARIO_ARG_DEFAULTS["research_sample"],
         help="fraction of each research sweep materialized (see DESIGN.md)",
     )
 
@@ -393,13 +419,25 @@ def _maybe_write_metrics(args, stream) -> None:
         print(f"\nmetrics written to {' and '.join(files)}", file=stream)
 
 
-def _scenario(args: argparse.Namespace) -> Scenario:
-    config = ScenarioConfig(
+def _scenario_config(args: argparse.Namespace) -> ScenarioConfig:
+    if getattr(args, "scenario", None):
+        config = _named_scenario_config(args.scenario)
+        if args.seed != _SCENARIO_ARG_DEFAULTS["seed"]:
+            config = replace(config, seed=args.seed)
+        if args.hours != _SCENARIO_ARG_DEFAULTS["hours"]:
+            config = replace(config, duration=args.hours * HOUR)
+        if args.research_sample != _SCENARIO_ARG_DEFAULTS["research_sample"]:
+            config = replace(config, research_sample=args.research_sample)
+        return config
+    return ScenarioConfig(
         seed=args.seed,
         duration=args.hours * HOUR,
         research_sample=args.research_sample,
     )
-    return Scenario(config)
+
+
+def _scenario(args: argparse.Namespace) -> Scenario:
+    return Scenario(_scenario_config(args))
 
 
 def _pipeline(
@@ -431,7 +469,8 @@ def _emit_report(result, scenario, out_path: Optional[str], stream) -> None:
 
 def cmd_simulate(args, stream) -> int:
     scenario = _scenario(args)
-    print(f"simulating {args.hours:.1f} h at telescope {scenario.telescope.prefix} ...", file=stream)
+    hours = scenario.config.duration / HOUR
+    print(f"simulating {hours:.1f} h at telescope {scenario.telescope.prefix} ...", file=stream)
     if args.gen_lane:
         from repro.net.pcap import write_records
         from repro.telescope.genlane import wire_items
@@ -560,7 +599,10 @@ def cmd_watch(args, stream) -> int:
         feed = scenario.live_batches(
             batch_size=args.batch_size, speed=args.speed or None
         )
-        source = f"live simulator feed ({args.hours:.1f} h planned)"
+        source = (
+            f"live simulator feed "
+            f"({scenario.config.duration / HOUR:.1f} h planned)"
+        )
     if injector is not None:
         feed = injector.wrap_batches(feed, batch_size=args.batch_size)
     print(f"watching {source} [{mode} mode]", file=stream)
@@ -727,11 +769,7 @@ def cmd_federate(args, stream) -> int:
     if args.vantages < 1:
         print("--vantages must be at least 1", file=stream)
         return 2
-    scenario_config = ScenarioConfig(
-        seed=args.seed,
-        duration=args.hours * HOUR,
-        research_sample=args.research_sample,
-    )
+    scenario_config = _scenario_config(args)
     analysis = AnalysisConfig()
     mode = SKETCH_MODE if args.sketch else EXACT
 

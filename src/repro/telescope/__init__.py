@@ -12,17 +12,26 @@ each with its own generator:
   planned floods into the packets a telescope actually sees;
 - :mod:`repro.telescope.noise` — low-volume misconfiguration traffic.
 
+Beyond the paper, :mod:`repro.telescope.adversarial` generates attack
+shapes the 2021 telescope never saw (optimistic-ACK amplification,
+HTTP/3 request floods, pulse waves, carpet bombing, VN/RETRY
+deflection); :data:`repro.telescope.presets.SCENARIOS` is the named
+registry the test matrix and benchmarks enumerate.
+
 :mod:`repro.telescope.workload` composes them into a full scenario and
 :mod:`repro.telescope.telescope` merges the sorted per-source streams
 into one capture, exactly like a darknet's packet tap.
 """
 
+from repro.telescope.adversarial import AdversarialSpec, ADVERSARIAL_KINDS
 from repro.telescope.diurnal import DiurnalModel
 from repro.telescope.telescope import Telescope
 from repro.telescope.workload import Scenario, ScenarioConfig, ScenarioTruth
 from repro.telescope import presets
 
 __all__ = [
+    "AdversarialSpec",
+    "ADVERSARIAL_KINDS",
     "DiurnalModel",
     "Telescope",
     "Scenario",

@@ -24,6 +24,7 @@ from repro.util.batching import batched
 from repro.util.rng import SeededRng
 from repro.util.timeutil import APRIL_1_2021, DAY
 from repro.internet.topology import InternetModel, TopologyConfig
+from repro.telescope.adversarial import AdversarialSpec, build_adversarial_model
 from repro.telescope.attacks import (
     AttackPlan,
     AttackPlanConfig,
@@ -58,6 +59,11 @@ class ScenarioConfig:
     include_attacks: bool = True
     include_misconfig: bool = True
     include_stray: bool = True
+    #: adversarial traffic sources beyond the paper's IBR classes
+    #: (:mod:`repro.telescope.adversarial`); a tuple of
+    #: :class:`AdversarialSpec` so the config stays picklable for
+    #: worker-process scenario rebuilds.
+    adversarial: tuple = ()
 
     @property
     def end(self) -> float:
@@ -130,6 +136,12 @@ class Scenario:
         self._attack_traffic = AttackTrafficModel(
             self.internet, self.rng.child("attack-traffic"), self.config.attacks
         )
+        self.adversarial = [
+            build_adversarial_model(
+                spec, self.internet, self.rng.child(f"adversarial:{i}:{spec.kind}")
+            )
+            for i, spec in enumerate(self.config.adversarial)
+        ]
 
     @property
     def truth(self) -> ScenarioTruth:
@@ -180,6 +192,7 @@ class Scenario:
             streams.append(self._misconfig.packets(start, end))
         if self.config.include_stray:
             streams.append(self._stray.packets(start, end))
+        streams.extend(model.packets(start, end) for model in self.adversarial)
         return self.telescope.capture(merge_streams(*streams))
 
     def record_units(self) -> list:
@@ -190,7 +203,8 @@ class Scenario:
         per-flood streams), and ``heapq.merge`` breaks timestamp ties
         toward the earlier iterator.  Flattening that nested merge into
         one merge over these units — research sweeps, bots, TCP scans,
-        each flood in plan order, misconfig, stray — preserves the
+        each flood in plan order, misconfig, stray, then each
+        adversarial source in spec order — preserves the
         lexicographic tie-break exactly, so ``records()`` (and the
         sharded ``telescope/parallel.py`` path, which merges by
         ``(timestamp, unit index)``) reproduces ``packets()`` order bit
@@ -213,6 +227,7 @@ class Scenario:
             units.append(self._misconfig.records(start, end))
         if self.config.include_stray:
             units.append(self._stray.records(start, end))
+        units.extend(model.records(start, end) for model in self.adversarial)
         return units
 
     def records(self, workers: int = 1) -> Iterator[tuple]:

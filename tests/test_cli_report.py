@@ -146,6 +146,54 @@ def test_cli_version(capsys):
     assert captured.out.strip() == f"repro {repro.__version__}"
 
 
+def test_cli_report_named_scenario_matches_golden():
+    """``report --scenario`` renders the registry preset — byte-equal
+    to the golden snapshot the test suite pins for that scenario."""
+    import pathlib
+
+    code, out = run_cli(["report", "--scenario", "adv-vn-retry"])
+    assert code == 0
+    golden = (
+        pathlib.Path(__file__).parent / "data" / "scenario_adv-vn-retry.txt"
+    ).read_text()
+    assert out == golden + "\n"
+
+
+def test_cli_scenario_accepts_explicit_overrides():
+    """Explicit --hours/--seed win over the preset; defaults do not
+    clobber the preset's own window."""
+    from repro.cli import _scenario_config
+    from repro.telescope.presets import scenario_config
+
+    code, out = run_cli(
+        ["report", "--scenario", "adv-h3-flood", "--hours", "0.1", "--seed", "7"]
+    )
+    assert code == 0
+    assert "Overview (Figure 2)" in out
+
+    import argparse
+
+    preset = scenario_config("adv-h3-flood")
+    args = argparse.Namespace(
+        scenario="adv-h3-flood",
+        seed=20210401,
+        hours=6.0,
+        research_sample=1 / 256,
+    )
+    assert _scenario_config(args) == preset  # defaults leave the preset alone
+    args.hours = 0.1
+    args.seed = 7
+    overridden = _scenario_config(args)
+    assert overridden.seed == 7
+    assert overridden.duration == pytest.approx(0.1 * HOUR)
+    assert overridden.include_attacks == preset.include_attacks
+
+
+def test_cli_unknown_scenario_is_usage_error():
+    code, _out = run_cli(["report", "--scenario", "no-such-scenario"])
+    assert code == 2
+
+
 def test_cli_report_with_export(tmp_path):
     export_dir = tmp_path / "data"
     code, out = run_cli(["report"] + FAST + ["--export", str(export_dir)])

@@ -120,7 +120,40 @@ def valid_datagrams():
         ).serialize(),
         bytes([0x40]) + rng.randbytes(40),  # plausible short header
     ]
+    out.extend(adversarial_datagrams())
     return out
+
+
+def adversarial_datagrams():
+    """The wire shapes the adversarial scenario generators emit
+    (:mod:`repro.telescope.adversarial`): coalesced Initial + 0-RTT
+    HTTP/3 request datagrams, VN/RETRY deflection packets with valid
+    integrity tags, and near-MTU 1-RTT amplification payloads."""
+    from repro.quic.retry import RetryTokenMinter, build_retry_packet
+    from repro.telescope.adversarial import _h3_request_datagrams
+
+    rng = SeededRng(0xAD5E, "fuzz-adversarial")
+    minter = RetryTokenMinter(secret=rng.randbytes(16))
+    odcid = rng.randbytes(8)
+    token = minter.mint(
+        client_ip=rng.getrandbits(32), client_port=2048, odcid=odcid, now=0.0
+    )
+    return [
+        _h3_request_datagrams(rng.child("probes"), rng.child("requests"), 1)[0],
+        build_retry_packet(
+            0x00000001,
+            dcid=rng.randbytes(8),
+            scid=rng.randbytes(8),
+            odcid=odcid,
+            token=token,
+        ),
+        VersionNegotiationPacket(
+            dcid=rng.randbytes(8),
+            scid=rng.randbytes(8),
+            supported_versions=(0x00000001, 0x6B3343CF),
+        ).serialize(),
+        bytes([0x47]) + rng.randbytes(1199),  # optimistic-ACK 1-RTT shape
+    ]
 
 
 def test_fuzz_random_bytes(dissector):
@@ -172,6 +205,41 @@ def test_fuzz_interesting_boundaries(dissector):
     ]
     for payload in cases:
         _check_contracts(payload, dissector)
+
+
+def test_fuzz_adversarial_shapes_keep_taxonomy_closed(dissector):
+    """The adversarial generators' wire shapes — and seeded mutations of
+    them — must dissect inside the existing 13-slug ``MalformedReason``
+    taxonomy: valid, or rejected with a *specific* reason, but never
+    ``internal-error`` (a parser path escaping its typed contract)."""
+    assert len(MalformedReason) == 13, "taxonomy changed — update fuzz docs"
+    rng = SeededRng(0xF0223, "fuzz-adversarial-mutate")
+    seeds = adversarial_datagrams()
+
+    def check(payload):
+        _check_contracts(payload, dissector)
+        dissection = dissector.dissect(payload)
+        assert dissection.reason is not MalformedReason.INTERNAL_ERROR, (
+            payload.hex()
+        )
+
+    for seed_payload in seeds:
+        check(seed_payload)
+        assert dissector.dissect(seed_payload).valid, seed_payload.hex()
+    for _ in range(ITERS):
+        data = bytearray(rng.choice(seeds))
+        for _mutation in range(rng.randint(1, 4)):
+            choice = rng.randint(0, 3)
+            if choice == 0 and data:  # bit flip
+                index = rng.randint(0, len(data) - 1)
+                data[index] ^= 1 << rng.randint(0, 7)
+            elif choice == 1 and data:  # byte overwrite
+                data[rng.randint(0, len(data) - 1)] = rng.randint(0, 255)
+            elif choice == 2 and len(data) > 1:  # truncate
+                del data[rng.randint(1, len(data) - 1) :]
+            else:  # extend with garbage (coalesced tail)
+                data.extend(rng.randbytes(rng.randint(1, 32)))
+        check(bytes(data))
 
 
 def test_corpus_replay(dissector):
